@@ -1,0 +1,288 @@
+//! The collection model of the MOOD algebra and the return-type rules of
+//! Tables 1–7, encoded as pure functions so they are testable and printable
+//! (the `reproduce` harness regenerates the tables by evaluating these).
+//!
+//! Objects are accessed through four kinds of collections (Section 3.2):
+//! object identifiers in a *set*, object identifiers in a *list*, objects in
+//! *extents*, and *named objects*.
+
+use std::fmt;
+
+use mood_datamodel::Value;
+use mood_storage::Oid;
+
+/// One element of an extent: a (possibly transient) object. Stored objects
+/// carry their OID; transient tuples produced by `Project`/`Unnest` do not.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Obj {
+    pub oid: Option<Oid>,
+    pub value: Value,
+}
+
+impl Obj {
+    pub fn stored(oid: Oid, value: Value) -> Obj {
+        Obj {
+            oid: Some(oid),
+            value,
+        }
+    }
+
+    pub fn transient(value: Value) -> Obj {
+        Obj { oid: None, value }
+    }
+}
+
+/// A collection in the algebra.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Collection {
+    /// An extent: the objects themselves (materialized with values).
+    Extent(Vec<Obj>),
+    /// A set of object identifiers (order-insensitive, duplicates removed
+    /// by construction through [`Collection::set_from`]).
+    Set(Vec<Oid>),
+    /// A list of object identifiers (ordered, duplicates allowed).
+    List(Vec<Oid>),
+    /// A named object.
+    NamedObject(Obj),
+    /// The empty result of filtering away a named object (the tables leave
+    /// this case implicit; we make it explicit and typed).
+    Empty,
+}
+
+/// The *kind* of a collection — the row/column labels of Tables 1–7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kind {
+    Extent,
+    Set,
+    List,
+    NamedObject,
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Kind::Extent => "Extent",
+            Kind::Set => "Set",
+            Kind::List => "List",
+            Kind::NamedObject => "Named Obj.",
+        })
+    }
+}
+
+impl Collection {
+    pub fn kind(&self) -> Option<Kind> {
+        Some(match self {
+            Collection::Extent(_) => Kind::Extent,
+            Collection::Set(_) => Kind::Set,
+            Collection::List(_) => Kind::List,
+            Collection::NamedObject(_) => Kind::NamedObject,
+            Collection::Empty => return None,
+        })
+    }
+
+    /// Build a set, deduplicating OIDs.
+    pub fn set_from(mut oids: Vec<Oid>) -> Collection {
+        oids.sort();
+        oids.dedup();
+        Collection::Set(oids)
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Collection::Extent(v) => v.len(),
+            Collection::Set(v) | Collection::List(v) => v.len(),
+            Collection::NamedObject(_) => 1,
+            Collection::Empty => 0,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The OIDs of the collection's elements (transient extent members have
+    /// none and are skipped).
+    pub fn oids(&self) -> Vec<Oid> {
+        match self {
+            Collection::Extent(v) => v.iter().filter_map(|o| o.oid).collect(),
+            Collection::Set(v) | Collection::List(v) => v.clone(),
+            Collection::NamedObject(o) => o.oid.into_iter().collect(),
+            Collection::Empty => Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Return-type rules (Tables 1–7) as pure functions.
+// ---------------------------------------------------------------------
+
+/// Table 1 — return type of `Select(arg, P)`. The Extent row reads
+/// "Extent or Set"; the implementation materializes an Extent (the objects
+/// were already in hand to evaluate P).
+pub fn select_return(arg: Kind) -> Kind {
+    arg
+}
+
+/// Table 2 — return type of `Join(arg1, arg2, …)`.
+pub fn join_return(arg1: Kind, arg2: Kind) -> Kind {
+    use Kind::*;
+    match (arg1, arg2) {
+        (Extent, _) | (_, Extent) => Extent,
+        (Set, _) | (_, Set) => Set,
+        (List, _) | (_, List) => List,
+        (NamedObject, NamedObject) => NamedObject,
+    }
+}
+
+/// Table 3 — `DupElim` applicability and result description.
+pub fn dupelim_return(arg: Kind) -> Option<&'static str> {
+    match arg {
+        Kind::Set => None, // "not applicable": a set has no duplicates
+        Kind::List => Some("list of ordered distinct object identifiers"),
+        Kind::Extent => Some("Extent of the distinct object according to the deep equality check"),
+        Kind::NamedObject => None,
+    }
+}
+
+/// Table 4 — return type of `Union`/`Intersection`/`Difference`.
+/// Arguments are sets or lists; list ∪ list keeps list-ness (for `Union`,
+/// "if both arguments are lists, union corresponds to array concatenation").
+pub fn setop_return(arg1: Kind, arg2: Kind) -> Option<Kind> {
+    use Kind::*;
+    match (arg1, arg2) {
+        (Set, Set) | (Set, List) | (List, Set) => Some(Set),
+        (List, List) => Some(List),
+        _ => None,
+    }
+}
+
+/// Table 5 — what the elements of `asSet(arg)` / `asList(arg)` are.
+pub fn as_set_list_elements(arg: Kind) -> &'static str {
+    match arg {
+        Kind::Extent => "Object identifiers of the objects in the extent arg",
+        Kind::Set => "Object identifiers of the set arg",
+        Kind::List => "Object identifiers of the list arg",
+        Kind::NamedObject => "Object identifiers of the named object",
+    }
+}
+
+/// Table 6 — return of `asExtent(arg)` (sets and lists only).
+pub fn as_extent_return(arg: Kind) -> Option<&'static str> {
+    match arg {
+        Kind::Set | Kind::List => {
+            Some("extent of dereferenced objects of the elements of the collection")
+        }
+        _ => None,
+    }
+}
+
+/// Table 7 — argument kinds `Unnest` accepts (all return an Extent).
+pub fn unnest_accepts(arg: Kind) -> bool {
+    matches!(
+        arg,
+        Kind::Extent | Kind::Set | Kind::List | Kind::NamedObject
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mood_storage::{FileId, PageId, SlotId};
+
+    fn oid(n: u32) -> Oid {
+        Oid::new(FileId(1), PageId(n), SlotId(0), 1)
+    }
+
+    #[test]
+    fn table1_select_return_types() {
+        assert_eq!(select_return(Kind::Extent), Kind::Extent);
+        assert_eq!(select_return(Kind::Set), Kind::Set);
+        assert_eq!(select_return(Kind::List), Kind::List);
+        assert_eq!(select_return(Kind::NamedObject), Kind::NamedObject);
+    }
+
+    #[test]
+    fn table2_join_return_types() {
+        use Kind::*;
+        // The full 4×4 grid of Table 2.
+        let expect = [
+            ((Extent, Extent), Extent),
+            ((Extent, Set), Extent),
+            ((Extent, List), Extent),
+            ((Extent, NamedObject), Extent),
+            ((Set, Extent), Extent),
+            ((Set, Set), Set),
+            ((Set, List), Set),
+            ((Set, NamedObject), Set),
+            ((List, Extent), Extent),
+            ((List, Set), Set),
+            ((List, List), List),
+            ((List, NamedObject), List),
+            ((NamedObject, Extent), Extent),
+            ((NamedObject, Set), Set),
+            ((NamedObject, List), List),
+            ((NamedObject, NamedObject), NamedObject),
+        ];
+        for ((a, b), want) in expect {
+            assert_eq!(join_return(a, b), want, "Join({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn table3_dupelim() {
+        assert_eq!(dupelim_return(Kind::Set), None);
+        assert!(dupelim_return(Kind::List)
+            .unwrap()
+            .contains("ordered distinct"));
+        assert!(dupelim_return(Kind::Extent)
+            .unwrap()
+            .contains("deep equality"));
+    }
+
+    #[test]
+    fn table4_setops() {
+        assert_eq!(setop_return(Kind::Set, Kind::Set), Some(Kind::Set));
+        assert_eq!(setop_return(Kind::Set, Kind::List), Some(Kind::Set));
+        assert_eq!(setop_return(Kind::List, Kind::Set), Some(Kind::Set));
+        assert_eq!(setop_return(Kind::List, Kind::List), Some(Kind::List));
+        assert_eq!(setop_return(Kind::Extent, Kind::Set), None);
+    }
+
+    #[test]
+    fn table6_as_extent() {
+        assert!(as_extent_return(Kind::Set).is_some());
+        assert!(as_extent_return(Kind::List).is_some());
+        assert!(as_extent_return(Kind::Extent).is_none());
+        assert!(as_extent_return(Kind::NamedObject).is_none());
+    }
+
+    #[test]
+    fn set_from_dedups() {
+        let c = Collection::set_from(vec![oid(2), oid(1), oid(2), oid(1)]);
+        assert_eq!(c, Collection::Set(vec![oid(1), oid(2)]));
+    }
+
+    #[test]
+    fn lengths_and_oids() {
+        let e = Collection::Extent(vec![
+            Obj::stored(oid(1), Value::Integer(1)),
+            Obj::transient(Value::Integer(2)),
+        ]);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.oids(), vec![oid(1)], "transient members have no OID");
+        assert_eq!(Collection::Empty.len(), 0);
+        assert!(Collection::Empty.is_empty());
+        assert_eq!(
+            Collection::NamedObject(Obj::stored(oid(3), Value::Null)).oids(),
+            vec![oid(3)]
+        );
+    }
+
+    #[test]
+    fn kind_of_each_variant() {
+        assert_eq!(Collection::Extent(vec![]).kind(), Some(Kind::Extent));
+        assert_eq!(Collection::Set(vec![]).kind(), Some(Kind::Set));
+        assert_eq!(Collection::List(vec![]).kind(), Some(Kind::List));
+        assert_eq!(Collection::Empty.kind(), None);
+    }
+}

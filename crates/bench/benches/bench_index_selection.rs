@@ -1,0 +1,92 @@
+//! X2 — the §8.1 index-selection inequality: where the optimizer switches
+//! between indexed access and the sequential scan, model vs measured.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mood_core::{Mood, Value};
+
+/// Build a single-class database with a controlled value distribution:
+/// `k` takes `dist` distinct values uniformly.
+fn build(n: usize, dist: i32) -> Mood {
+    let db = Mood::in_memory_with_pool(8);
+    db.execute("CREATE CLASS Row TUPLE (k Integer, pad String)")
+        .unwrap();
+    let catalog = db.catalog();
+    for i in 0..n {
+        catalog
+            .new_object(
+                "Row",
+                Value::tuple(vec![
+                    ("k", Value::Integer(i as i32 % dist)),
+                    ("pad", Value::string("p".repeat(180))),
+                ]),
+            )
+            .unwrap();
+    }
+    db.execute("CREATE INDEX ON Row(k)").unwrap();
+    db.collect_stats().unwrap();
+    db
+}
+
+fn pages(db: &Mood, q: &str) -> (u64, u64, u64) {
+    db.metrics().reset();
+    db.query(q).expect("query runs");
+    let s = db.metrics().snapshot();
+    (s.seq_pages, s.rnd_pages, s.idx_pages)
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n# X2: index vs scan across selectivity (n=8000 rows)");
+    println!(
+        "{:>8} {:>12} {:>22} {:>22}",
+        "dist", "selectivity", "plan chose", "pages (seq/rnd/idx)"
+    );
+    // Higher dist → lower equality selectivity → index more attractive.
+    for dist in [2i32, 20, 200, 4000] {
+        let db = build(8000, dist);
+        let plan = db.explain("SELECT r FROM Row r WHERE r.k = 1").unwrap();
+        let chose_index = plan.contains("INDSEL");
+        let (seq, rnd, idx) = pages(&db, "SELECT r FROM Row r WHERE r.k = 1");
+        println!(
+            "{:>8} {:>12.5} {:>22} {:>14}/{}/{}",
+            dist,
+            1.0 / dist as f64,
+            if chose_index {
+                "INDSEL (index)"
+            } else {
+                "SELECT (scan)"
+            },
+            seq,
+            rnd,
+            idx
+        );
+        // Shape check: at dist=2 (selectivity 0.5) the scan must win; at
+        // dist=4000 (0.00025) the index must win.
+        if dist == 2 {
+            assert!(!chose_index, "unselective predicate must scan");
+        }
+        if dist == 4000 {
+            assert!(chose_index, "highly selective predicate must use the index");
+        }
+    }
+
+    let mut group = c.benchmark_group("index_selection");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for dist in [2i32, 4000] {
+        let db = build(8000, dist);
+        group.bench_with_input(BenchmarkId::new("equality_query", dist), &db, |b, db| {
+            b.iter(|| {
+                db.query("SELECT r FROM Row r WHERE r.k = 1")
+                    .expect("runs")
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! X4 + ablation 1 — Algorithm 8.1 (F/(1−s)) against simpler heuristics
+//! and the exhaustive optimum, at the model level (objective f) and as
+//! planning-time criterion benchmarks; plus a measured end-to-end run of
+//! the Example 8.1 query shape on a generated database.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mood_bench::{build_vehicle_db, VehicleDbSpec};
+use mood_core::optimizer::{objective, optimal_order_exhaustive, order_paths, PathCost};
+
+fn rand_paths(n: usize, seed: u64) -> Vec<PathCost> {
+    let mut state = seed;
+    let mut rnd = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (u32::MAX as f64)
+    };
+    (0..n)
+        .map(|_| PathCost {
+            cost: 1.0 + rnd() * 999.0,
+            selectivity: rnd().clamp(0.001, 0.999),
+        })
+        .collect()
+}
+
+fn order_by_selectivity(paths: &[PathCost]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..paths.len()).collect();
+    idx.sort_by(|&a, &b| {
+        paths[a]
+            .selectivity
+            .partial_cmp(&paths[b].selectivity)
+            .unwrap()
+    });
+    idx
+}
+
+fn order_by_cost(paths: &[PathCost]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..paths.len()).collect();
+    idx.sort_by(|&a, &b| paths[a].cost.partial_cmp(&paths[b].cost).unwrap());
+    idx
+}
+
+fn bench(c: &mut Criterion) {
+    // Ablation table: objective ratio vs the exhaustive optimum, averaged
+    // over 200 random instances per m.
+    println!("\n# X4: objective f relative to the exhaustive optimum (1.0 = optimal)");
+    println!(
+        "{:>3} {:>12} {:>16} {:>12}",
+        "m", "F/(1-s)", "selectivity-only", "cost-only"
+    );
+    for m in [3usize, 5, 7] {
+        let (mut r_rank, mut r_sel, mut r_cost) = (0.0, 0.0, 0.0);
+        let trials = 200;
+        for t in 0..trials {
+            let paths = rand_paths(m, 1000 * m as u64 + t);
+            let (_, best) = optimal_order_exhaustive(&paths);
+            r_rank += objective(&paths, &order_paths(&paths)) / best;
+            r_sel += objective(&paths, &order_by_selectivity(&paths)) / best;
+            r_cost += objective(&paths, &order_by_cost(&paths)) / best;
+        }
+        let n = trials as f64;
+        println!(
+            "{:>3} {:>12.4} {:>16.4} {:>12.4}",
+            m,
+            r_rank / n,
+            r_sel / n,
+            r_cost / n
+        );
+    }
+
+    // Planning-time: the rank sort vs factorial search.
+    let mut group = c.benchmark_group("path_ordering");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    for m in [4usize, 8] {
+        let paths = rand_paths(m, 99);
+        group.bench_with_input(BenchmarkId::new("rank_sort", m), &paths, |b, p| {
+            b.iter(|| order_paths(p))
+        });
+        group.bench_with_input(BenchmarkId::new("exhaustive", m), &paths, |b, p| {
+            b.iter(|| optimal_order_exhaustive(p).1)
+        });
+    }
+    group.finish();
+
+    // Measured end-to-end: the Example 8.1-shaped query through the whole
+    // pipeline on a generated database (the optimizer's order in effect).
+    let db = build_vehicle_db(&VehicleDbSpec::default());
+    let mut group = c.benchmark_group("example_8_1_query");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
+    group.bench_function("two_path_query", |b| {
+        b.iter(|| {
+            db.query(
+                "SELECT v FROM Vehicle v WHERE v.company.name = 'Company00000' \
+                 AND v.drivetrain.engine.cylinders = 2",
+            )
+            .expect("query runs")
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! X3 — selectivity-estimate accuracy: the §4.1 formulas (through the
+//! collected statistics) against actual result counts on generated data.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mood_bench::{build_vehicle_db, VehicleDbSpec};
+use mood_core::cost::{
+    atomic_selectivity, fref, path_selectivity, Domain, PathHop, PathPredicate, Theta,
+};
+use mood_core::Mood;
+
+fn estimate_path(db: &Mood, hops: &[(&str, &str)], terminal: (&str, &str, Theta, f64)) -> f64 {
+    let stats = db.catalog().stats();
+    let mut ph = Vec::new();
+    for (class, attr) in hops {
+        let r = stats.reference(class, attr).expect("collected");
+        ph.push(PathHop {
+            fan: r.fan,
+            totref: r.totref as f64,
+            totlinks: stats.totlinks(class, attr).expect("derived"),
+        });
+    }
+    let (tclass, tattr, theta, c) = terminal;
+    let at = stats.attr(tclass, tattr).expect("collected");
+    let dom = Domain {
+        dist: at.dist as f64,
+        max: at.max,
+        min: at.min,
+    };
+    let (last_class, last_attr) = hops.last().expect("at least one hop");
+    let p = PathPredicate {
+        hops: ph,
+        terminal_cardinality: stats.class(tclass).expect("collected").cardinality as f64,
+        terminal_selectivity: atomic_selectivity(theta, Some(c), &dom),
+        hitprb_last: stats.hitprb(last_class, last_attr).expect("derived"),
+    };
+    path_selectivity(&p)
+}
+
+fn actual_fraction(db: &Mood, q: &str, total: usize) -> f64 {
+    db.query(q).expect("query runs").len() as f64 / total as f64
+}
+
+fn bench(c: &mut Criterion) {
+    let spec = VehicleDbSpec {
+        n_vehicles: 4000,
+        ..Default::default()
+    };
+    let db = build_vehicle_db(&spec);
+    let n = spec.n_vehicles;
+
+    println!("\n# X3: estimated vs actual selectivity (4000 vehicles)");
+    println!(
+        "{:<52} {:>10} {:>10} {:>7}",
+        "predicate", "estimate", "actual", "ratio"
+    );
+
+    // Atomic: weight > c at three cut points.
+    let stats = db.catalog().stats();
+    let w = stats.attr("Vehicle", "weight").expect("collected");
+    let dom = Domain {
+        dist: w.dist as f64,
+        max: w.max,
+        min: w.min,
+    };
+    for cut in [800.0, 1200.0, 1700.0] {
+        let est = atomic_selectivity(Theta::Gt, Some(cut), &dom);
+        let act = actual_fraction(
+            &db,
+            &format!("SELECT v FROM Vehicle v WHERE v.weight > {cut}"),
+            n,
+        );
+        println!(
+            "{:<52} {:>10.4} {:>10.4} {:>7.2}",
+            format!("v.weight > {cut}"),
+            est,
+            act,
+            if act > 0.0 { est / act } else { f64::NAN }
+        );
+        assert!(
+            (est - act).abs() < 0.15,
+            "uniform attribute: est {est} vs {act}"
+        );
+    }
+
+    // One-hop path: v.drivetrain.transmission = 'MANUAL' (≈ 0.5).
+    {
+        // String domain: equality selectivity 1/dist = 1/2.
+        let est = {
+            let at = stats
+                .attr("VehicleDriveTrain", "transmission")
+                .expect("collected");
+            1.0 / at.dist as f64
+        };
+        let act = actual_fraction(
+            &db,
+            "SELECT v FROM Vehicle v WHERE v.drivetrain.transmission = 'MANUAL'",
+            n,
+        );
+        println!(
+            "{:<52} {:>10.4} {:>10.4} {:>7.2}",
+            "v.drivetrain.transmission = 'MANUAL'",
+            est,
+            act,
+            est / act
+        );
+    }
+
+    // Two-hop path: v.drivetrain.engine.cylinders = 2 (the Example 8.2
+    // predicate at generated scale).
+    {
+        let est = estimate_path(
+            &db,
+            &[("Vehicle", "drivetrain"), ("VehicleDriveTrain", "engine")],
+            ("VehicleEngine", "cylinders", Theta::Eq, 2.0),
+        );
+        let act = actual_fraction(
+            &db,
+            "SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2",
+            n,
+        );
+        println!(
+            "{:<52} {:>10.4} {:>10.4} {:>7.2}",
+            "v.drivetrain.engine.cylinders = 2",
+            est,
+            act,
+            est / act
+        );
+        assert!(
+            est / act.max(1e-6) < 4.0 && act / est.max(1e-6) < 4.0,
+            "path estimate within 4x: est {est} vs act {act}"
+        );
+    }
+
+    // fref accuracy: distinct drivetrains reached from all vehicles.
+    {
+        let r = stats.reference("Vehicle", "drivetrain").expect("collected");
+        let hop = PathHop {
+            fan: r.fan,
+            totref: r.totref as f64,
+            totlinks: stats.totlinks("Vehicle", "drivetrain").expect("derived"),
+        };
+        let est = fref(&[hop], n as f64);
+        let act = r.totref as f64; // all drivetrains are referenced
+        println!(
+            "{:<52} {:>10.0} {:>10.0} {:>7.2}",
+            "fref(v.drivetrain, |V|) vs distinct reached",
+            est,
+            act,
+            est / act
+        );
+    }
+
+    let mut group = c.benchmark_group("selectivity");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("estimate_two_hop_path", |b| {
+        b.iter(|| {
+            estimate_path(
+                &db,
+                &[("Vehicle", "drivetrain"), ("VehicleDriveTrain", "engine")],
+                ("VehicleEngine", "cylinders", Theta::Eq, 2.0),
+            )
+        })
+    });
+    group.bench_function("actual_two_hop_count", |b| {
+        b.iter(|| {
+            db.query("SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2")
+                .expect("runs")
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Workload generation and measurement helpers shared by the `reproduce`
+//! binary and the criterion benches.
+//!
+//! The generators build synthetic databases with *controlled statistics*
+//! (cardinalities, fan-out, sharing) so measured page counts can be
+//! compared against the paper's §4–§6 formulas, per the experiment index in
+//! DESIGN.md.
+
+pub mod datagen;
+pub mod measure;
+
+pub use datagen::{build_ref_db, build_vehicle_db, RefDbSpec, VehicleDbSpec};
+pub use measure::{measured_join_pages, model_join_cost, JoinMeasurement};

@@ -1,0 +1,169 @@
+//! Measured-vs-model comparison helpers for the join experiments (X1).
+
+use mood_core::algebra::{join, Collection, JoinMethod, JoinRhs, Obj};
+use mood_core::cost::{join_cost, ClassInfo, IndexParams, JoinInputs, DEFAULT_CPU_COST};
+use mood_core::{Mood, Oid, PhysicalParams};
+
+/// One measured join execution.
+#[derive(Debug, Clone)]
+pub struct JoinMeasurement {
+    pub method: JoinMethod,
+    pub k_c: usize,
+    /// Physical page reads by category.
+    pub seq_pages: u64,
+    pub rnd_pages: u64,
+    pub idx_pages: u64,
+    /// Modelled time for the measured access pattern.
+    pub measured_model_seconds: f64,
+    /// The §6 formula's predicted cost.
+    pub predicted_seconds: f64,
+    /// Join output size (sanity: all methods agree).
+    pub pairs: usize,
+}
+
+/// Execute a `C.d = D.self` join over the first `k_c` C-objects with the
+/// given method, measuring physical page reads.
+pub fn measured_join_pages(
+    db: &Mood,
+    c_oids: &[Oid],
+    k_c: usize,
+    method: JoinMethod,
+    params: &PhysicalParams,
+) -> JoinMeasurement {
+    let catalog = db.catalog();
+    let subset: Vec<Obj> = c_oids[..k_c.min(c_oids.len())]
+        .iter()
+        .map(|&oid| {
+            let (_, v) = catalog.get_object(oid).expect("generated object");
+            Obj::stored(oid, v)
+        })
+        .collect();
+    let left = Collection::Extent(subset);
+    let metrics = db.metrics();
+    metrics.reset();
+    let before = metrics.snapshot();
+    let pairs = join(catalog, &left, "d", JoinRhs::Class("D"), method).expect("join runs");
+    let delta = metrics.snapshot().delta(&before);
+    JoinMeasurement {
+        method,
+        k_c,
+        seq_pages: delta.seq_pages,
+        rnd_pages: delta.rnd_pages,
+        idx_pages: delta.idx_pages,
+        measured_model_seconds: params.time(&delta),
+        predicted_seconds: model_join_cost(db, k_c, method, params).unwrap_or(f64::NAN),
+        pairs: pairs.len(),
+    }
+}
+
+/// The §6 formula prediction for the same join.
+///
+/// One deliberate deviation: the §6.2 backward-traversal CPU term is
+/// `k_c·fan·k_d·CPUCOST` (a 1994 nested loop). Our executor tests
+/// membership through a hash map built during the D scan, so the model
+/// here charges the D scan plus one probe per reference — the cost the
+/// implementation actually pays. The paper's formula is kept verbatim in
+/// `mood-cost` (it is what the optimizer reproduces); this function models
+/// the *measured harness*.
+pub fn model_join_cost(
+    db: &Mood,
+    k_c: usize,
+    method: JoinMethod,
+    params: &PhysicalParams,
+) -> Option<f64> {
+    let stats = db.catalog().stats();
+    let c = stats.class("C")?;
+    let d = stats.class("D")?;
+    let r = stats.reference("C", "d")?;
+    let index = stats.index("C", "d").map(IndexParams::from_stats);
+    if method == JoinMethod::BackwardTraversal {
+        // D extent scan + hash probes (left side is already in memory).
+        return Some(
+            mood_core::cost::seqcost(params, d.nbpages as f64)
+                + k_c as f64 * r.fan * DEFAULT_CPU_COST,
+        );
+    }
+    if method == JoinMethod::BinaryJoinIndex {
+        // The implementation enumerates D by one extent scan and probes
+        // the binary join index once per D object; §6.3's bjc = INDCOST(k)
+        // is the probe part of that.
+        let ix = index?;
+        return Some(
+            mood_core::cost::seqcost(params, d.nbpages as f64)
+                + mood_core::cost::indcost(params, &ix, d.cardinality as f64),
+        );
+    }
+    let j = JoinInputs {
+        k_c: k_c as f64,
+        k_d: d.cardinality as f64,
+        c: ClassInfo {
+            cardinality: c.cardinality as f64,
+            nbpages: c.nbpages as f64,
+        },
+        d: ClassInfo {
+            cardinality: d.cardinality as f64,
+            nbpages: d.nbpages as f64,
+        },
+        fan: r.fan,
+        totref: r.totref as f64,
+        index,
+        d_already_accessed: false,
+        cpu_cost: DEFAULT_CPU_COST,
+        // The measured harness hands the k_c objects to the join already
+        // materialized.
+        c_in_memory: true,
+        d_in_memory: false,
+    };
+    join_cost(params, method, &j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{build_ref_db, RefDbSpec};
+
+    #[test]
+    fn all_methods_agree_and_have_distinct_io_shapes() {
+        let spec = RefDbSpec {
+            n_c: 600,
+            n_d: 200,
+            join_index: true,
+            ..Default::default()
+        };
+        let (db, c_oids, _) = build_ref_db(&spec);
+        let params = PhysicalParams::salzberg_1988();
+        let mut sizes = Vec::new();
+        let mut by_method = Vec::new();
+        for method in [
+            JoinMethod::ForwardTraversal,
+            JoinMethod::BackwardTraversal,
+            JoinMethod::BinaryJoinIndex,
+            JoinMethod::HashPartition,
+        ] {
+            let m = measured_join_pages(&db, &c_oids, 600, method, &params);
+            sizes.push(m.pairs);
+            by_method.push(m);
+        }
+        assert!(
+            sizes.windows(2).all(|w| w[0] == w[1]),
+            "methods agree: {sizes:?}"
+        );
+        // The index method reads index pages; the others don't.
+        let idx = &by_method[2];
+        assert!(idx.idx_pages > 0, "{idx:?}");
+        assert_eq!(by_method[0].idx_pages, 0);
+    }
+
+    #[test]
+    fn model_costs_are_finite_and_ordered_sanely() {
+        let spec = RefDbSpec::default();
+        let (db, _, _) = build_ref_db(&spec);
+        let params = PhysicalParams::salzberg_1988();
+        // Forward cost grows with k_c; hash partition is sublinear in k_c.
+        let f_small = model_join_cost(&db, 10, JoinMethod::ForwardTraversal, &params).unwrap();
+        let f_big = model_join_cost(&db, 2000, JoinMethod::ForwardTraversal, &params).unwrap();
+        assert!(f_small < f_big);
+        let h_big = model_join_cost(&db, 2000, JoinMethod::HashPartition, &params).unwrap();
+        assert!(h_big < f_big, "hash beats forward at full extent");
+    }
+}

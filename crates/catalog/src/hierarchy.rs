@@ -1,0 +1,310 @@
+//! Class-hierarchy (IS-A DAG) computations.
+//!
+//! The data model "supports multiple inheritance" (Section 3.1); the
+//! hierarchy is a DAG (MoodView draws it with a DAG placement algorithm).
+//! These functions are pure over a name→[`ClassDef`] map so they can be
+//! tested without storage.
+
+use std::collections::HashMap;
+
+use crate::error::{CatalogError, Result};
+use crate::schema::{AttributeDef, ClassDef, MethodSig};
+
+/// Map from class name to definition — the in-memory symbol table.
+pub type ClassMap = HashMap<String, ClassDef>;
+
+/// Would adding `class` (with the given superclasses) introduce a cycle?
+pub fn check_acyclic(classes: &ClassMap, class: &str, superclasses: &[String]) -> Result<()> {
+    // A cycle exists iff `class` is reachable upward from any superclass.
+    let mut stack: Vec<&str> = superclasses.iter().map(|s| s.as_str()).collect();
+    let mut seen = std::collections::HashSet::new();
+    while let Some(cur) = stack.pop() {
+        if cur == class {
+            return Err(CatalogError::InheritanceCycle(class.to_string()));
+        }
+        if !seen.insert(cur.to_string()) {
+            continue;
+        }
+        if let Some(def) = classes.get(cur) {
+            stack.extend(def.superclasses.iter().map(|s| s.as_str()));
+        }
+    }
+    Ok(())
+}
+
+/// All (transitive) superclasses of `class`, nearest first, duplicates
+/// removed (left-to-right depth-first, the classic C++ lookup order the
+/// MOOD type system inherits from cfront).
+pub fn all_superclasses<'a>(classes: &'a ClassMap, class: &str) -> Vec<&'a ClassDef> {
+    let mut out: Vec<&ClassDef> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    fn walk<'a>(
+        classes: &'a ClassMap,
+        name: &str,
+        out: &mut Vec<&'a ClassDef>,
+        seen: &mut std::collections::HashSet<String>,
+    ) {
+        if let Some(def) = classes.get(name) {
+            for sup in &def.superclasses {
+                if seen.insert(sup.clone()) {
+                    if let Some(sdef) = classes.get(sup) {
+                        out.push(sdef);
+                    }
+                    walk(classes, sup, out, seen);
+                }
+            }
+        }
+    }
+    walk(classes, class, &mut out, &mut seen);
+    out
+}
+
+/// All (transitive) subclasses of `class`, excluding itself.
+pub fn all_subclasses<'a>(classes: &'a ClassMap, class: &str) -> Vec<&'a ClassDef> {
+    let mut out = Vec::new();
+    let mut frontier = vec![class.to_string()];
+    let mut seen = std::collections::HashSet::new();
+    while let Some(cur) = frontier.pop() {
+        for def in classes.values() {
+            if def.superclasses.contains(&cur) && seen.insert(def.name.clone()) {
+                frontier.push(def.name.clone());
+                out.push(def);
+            }
+        }
+    }
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+/// Is `sub` equal to or a transitive subclass of `sup`?
+pub fn is_subclass_of(classes: &ClassMap, sub: &str, sup: &str) -> bool {
+    if sub == sup {
+        return true;
+    }
+    all_superclasses(classes, sub).iter().any(|d| d.name == sup)
+}
+
+/// The *effective* attributes of a class: inherited (nearest-superclass
+/// first) then own, with same-name/same-type duplicates merged and
+/// same-name/different-type definitions rejected as a conflict.
+pub fn effective_attributes(classes: &ClassMap, class: &str) -> Result<Vec<AttributeDef>> {
+    let def = classes
+        .get(class)
+        .ok_or_else(|| CatalogError::UnknownClass(class.to_string()))?;
+    let mut out: Vec<AttributeDef> = Vec::new();
+    let mut push = |attr: &AttributeDef| -> Result<()> {
+        match out.iter().find(|a| a.name == attr.name) {
+            None => {
+                out.push(attr.clone());
+                Ok(())
+            }
+            Some(existing) if existing.ty == attr.ty => Ok(()), // diamond: same origin
+            Some(_) => Err(CatalogError::InheritanceConflict {
+                class: class.to_string(),
+                attribute: attr.name.clone(),
+            }),
+        }
+    };
+    // Superclass attributes first (they are the "older" part of the layout),
+    // walked farthest-first so a subclass sees root attributes first, like a
+    // C++ object layout.
+    let supers = all_superclasses(classes, class);
+    for sdef in supers.iter().rev() {
+        for attr in &sdef.attributes {
+            push(attr)?;
+        }
+    }
+    for attr in &def.attributes {
+        push(attr)?;
+    }
+    Ok(out)
+}
+
+/// Resolve a method by name with late-binding order: own methods shadow
+/// inherited ones; among superclasses, nearest (leftmost, depth-first)
+/// wins. Returns the defining class name alongside the signature.
+pub fn resolve_method<'a>(
+    classes: &'a ClassMap,
+    class: &str,
+    method: &str,
+) -> Option<(&'a str, &'a MethodSig)> {
+    if let Some(def) = classes.get(class) {
+        if let Some(sig) = def.method(method) {
+            return Some((def.name.as_str(), sig));
+        }
+        for sdef in all_superclasses(classes, class) {
+            if let Some(sig) = sdef.method(method) {
+                return Some((sdef.name.as_str(), sig));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ClassBuilder;
+    use mood_datamodel::TypeDescriptor;
+
+    fn def(b: ClassBuilder, id: u32) -> ClassDef {
+        b.build(id, None)
+    }
+
+    fn paper_hierarchy() -> ClassMap {
+        // Vehicle ← Automobile ← JapaneseAuto (Section 3.1)
+        let mut m = ClassMap::new();
+        m.insert(
+            "Vehicle".into(),
+            def(
+                ClassBuilder::class("Vehicle")
+                    .attribute("id", TypeDescriptor::integer())
+                    .attribute("weight", TypeDescriptor::integer())
+                    .method(MethodSig::new(
+                        "lbweight",
+                        TypeDescriptor::integer(),
+                        vec![],
+                    ))
+                    .method(MethodSig::new("weight", TypeDescriptor::integer(), vec![])),
+                1,
+            ),
+        );
+        m.insert(
+            "Automobile".into(),
+            def(ClassBuilder::class("Automobile").inherits("Vehicle"), 2),
+        );
+        m.insert(
+            "JapaneseAuto".into(),
+            def(
+                ClassBuilder::class("JapaneseAuto").inherits("Automobile"),
+                3,
+            ),
+        );
+        m
+    }
+
+    #[test]
+    fn transitive_super_and_subclasses() {
+        let m = paper_hierarchy();
+        let sups: Vec<_> = all_superclasses(&m, "JapaneseAuto")
+            .iter()
+            .map(|d| d.name.clone())
+            .collect();
+        assert_eq!(sups, vec!["Automobile", "Vehicle"]);
+        let subs: Vec<_> = all_subclasses(&m, "Vehicle")
+            .iter()
+            .map(|d| d.name.clone())
+            .collect();
+        assert_eq!(subs, vec!["Automobile", "JapaneseAuto"]);
+        assert!(all_subclasses(&m, "JapaneseAuto").is_empty());
+    }
+
+    #[test]
+    fn is_subclass_includes_self() {
+        let m = paper_hierarchy();
+        assert!(is_subclass_of(&m, "JapaneseAuto", "Vehicle"));
+        assert!(is_subclass_of(&m, "Vehicle", "Vehicle"));
+        assert!(!is_subclass_of(&m, "Vehicle", "JapaneseAuto"));
+    }
+
+    #[test]
+    fn inherited_attributes_flow_down() {
+        let m = paper_hierarchy();
+        let attrs = effective_attributes(&m, "JapaneseAuto").unwrap();
+        let names: Vec<_> = attrs.iter().map(|a| a.name.clone()).collect();
+        assert_eq!(names, vec!["id", "weight"]);
+    }
+
+    #[test]
+    fn method_resolution_walks_up() {
+        let m = paper_hierarchy();
+        let (owner, sig) = resolve_method(&m, "JapaneseAuto", "lbweight").unwrap();
+        assert_eq!(owner, "Vehicle");
+        assert_eq!(sig.name, "lbweight");
+        assert!(resolve_method(&m, "JapaneseAuto", "nope").is_none());
+    }
+
+    #[test]
+    fn own_method_shadows_inherited() {
+        let mut m = paper_hierarchy();
+        m.insert(
+            "Automobile".into(),
+            def(
+                ClassBuilder::class("Automobile")
+                    .inherits("Vehicle")
+                    .method(MethodSig::new("lbweight", TypeDescriptor::float(), vec![])),
+                2,
+            ),
+        );
+        let (owner, sig) = resolve_method(&m, "Automobile", "lbweight").unwrap();
+        assert_eq!(owner, "Automobile");
+        assert_eq!(sig.return_type, TypeDescriptor::float());
+    }
+
+    #[test]
+    fn diamond_inheritance_merges_common_root() {
+        let mut m = ClassMap::new();
+        m.insert(
+            "Base".into(),
+            def(
+                ClassBuilder::class("Base").attribute("x", TypeDescriptor::integer()),
+                1,
+            ),
+        );
+        m.insert(
+            "L".into(),
+            def(ClassBuilder::class("L").inherits("Base"), 2),
+        );
+        m.insert(
+            "R".into(),
+            def(ClassBuilder::class("R").inherits("Base"), 3),
+        );
+        m.insert(
+            "D".into(),
+            def(ClassBuilder::class("D").inherits("L").inherits("R"), 4),
+        );
+        let attrs = effective_attributes(&m, "D").unwrap();
+        assert_eq!(attrs.len(), 1, "diamond root attribute appears once");
+    }
+
+    #[test]
+    fn conflicting_inherited_attributes_rejected() {
+        let mut m = ClassMap::new();
+        m.insert(
+            "A".into(),
+            def(
+                ClassBuilder::class("A").attribute("x", TypeDescriptor::integer()),
+                1,
+            ),
+        );
+        m.insert(
+            "B".into(),
+            def(
+                ClassBuilder::class("B").attribute("x", TypeDescriptor::string()),
+                2,
+            ),
+        );
+        m.insert(
+            "C".into(),
+            def(ClassBuilder::class("C").inherits("A").inherits("B"), 3),
+        );
+        assert!(matches!(
+            effective_attributes(&m, "C"),
+            Err(CatalogError::InheritanceConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let m = paper_hierarchy();
+        // Making Vehicle inherit from JapaneseAuto closes a cycle.
+        assert!(matches!(
+            check_acyclic(&m, "Vehicle", &["JapaneseAuto".to_string()]),
+            Err(CatalogError::InheritanceCycle(_))
+        ));
+        // A fresh leaf is fine.
+        check_acyclic(&m, "Truck", &["Vehicle".to_string()]).unwrap();
+    }
+
+    use crate::schema::MethodSig;
+}

@@ -1,0 +1,1489 @@
+//! # mood-catalog — catalog management for MOOD
+//!
+//! Section 2 of the paper: the catalog holds class, type and member-function
+//! definitions "in a structure similar to a compiler symbol table",
+//! persisted on ESM via the `MoodsType` / `MoodsAttribute` / `MoodsFunction`
+//! record classes (Figure 2.2). On top of the persisted symbol table this
+//! crate provides:
+//!
+//! * the class hierarchy (multiple inheritance DAG) with effective-attribute
+//!   computation and late-binding method resolution ([`hierarchy`]);
+//! * class extents: object CRUD with type checking and OID stability
+//!   ([`Catalog::new_object`] etc.);
+//! * secondary indexes (B+-tree and hash) with automatic maintenance;
+//! * the statistics of Table 8/9, collectable by scan or injectable for the
+//!   paper's worked examples ([`stats`]).
+
+pub mod error;
+pub mod hierarchy;
+pub mod persist;
+pub mod schema;
+pub mod stats;
+
+pub use error::{CatalogError, Result};
+pub use persist::{CatalogRoot, CatalogStore};
+pub use schema::{AttributeDef, ClassBuilder, ClassDef, ClassKind, MethodSig, TypeId};
+pub use stats::{AttrStats, ClassStats, DatabaseStats, RefStats};
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use mood_datamodel::{decode_value, encode_key, encode_value, Resolver, TypeDescriptor, Value};
+use mood_storage::{FileId, Oid, StorageManager};
+
+/// Kind of a secondary index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    BTree,
+    Hash,
+}
+
+/// A registered secondary index on (class, attribute).
+#[derive(Debug, Clone)]
+pub struct IndexInfo {
+    pub class: String,
+    pub attribute: String,
+    pub kind: IndexKind,
+    pub unique: bool,
+    pub file: FileId,
+    /// Bucket count (hash indexes only).
+    pub buckets: u32,
+}
+
+struct Inner {
+    classes: hierarchy::ClassMap,
+    by_id: HashMap<TypeId, String>,
+    extent_class: HashMap<FileId, String>,
+    next_type_id: TypeId,
+    store: CatalogStore,
+    indexes: HashMap<(String, String), IndexInfo>,
+    stats: DatabaseStats,
+    named: HashMap<String, Oid>,
+}
+
+/// The MOOD catalog: symbol table + extents + indexes + statistics.
+pub struct Catalog {
+    sm: Arc<StorageManager>,
+    inner: RwLock<Inner>,
+}
+
+const DEFAULT_HASH_BUCKETS: u32 = 64;
+
+impl Catalog {
+    /// Create a fresh catalog on `sm`.
+    pub fn create(sm: Arc<StorageManager>) -> Result<Catalog> {
+        let store = CatalogStore::create(&sm)?;
+        Ok(Catalog {
+            sm,
+            inner: RwLock::new(Inner {
+                classes: hierarchy::ClassMap::new(),
+                by_id: HashMap::new(),
+                extent_class: HashMap::new(),
+                next_type_id: 1,
+                store,
+                indexes: HashMap::new(),
+                stats: DatabaseStats::new(),
+                named: HashMap::new(),
+            }),
+        })
+    }
+
+    /// Reopen a catalog persisted at `root`.
+    pub fn open(sm: Arc<StorageManager>, root: CatalogRoot) -> Result<Catalog> {
+        let mut store = CatalogStore::open(&sm, root);
+        let defs = store.load_all()?;
+        let mut classes = hierarchy::ClassMap::new();
+        let mut by_id = HashMap::new();
+        let mut extent_class = HashMap::new();
+        let mut next = 1;
+        for def in defs {
+            next = next.max(def.type_id + 1);
+            by_id.insert(def.type_id, def.name.clone());
+            if let Some(f) = def.extent {
+                extent_class.insert(f, def.name.clone());
+            }
+            classes.insert(def.name.clone(), def);
+        }
+        Ok(Catalog {
+            sm,
+            inner: RwLock::new(Inner {
+                classes,
+                by_id,
+                extent_class,
+                next_type_id: next,
+                store,
+                indexes: HashMap::new(),
+                stats: DatabaseStats::new(),
+                named: HashMap::new(),
+            }),
+        })
+    }
+
+    pub fn storage(&self) -> &Arc<StorageManager> {
+        &self.sm
+    }
+
+    /// The bootstrap root for [`Catalog::open`].
+    pub fn root(&self) -> CatalogRoot {
+        self.inner.read().store.root()
+    }
+
+    // ------------------------------------------------------------------
+    // Schema definition and evolution
+    // ------------------------------------------------------------------
+
+    /// Define a new class or type (the DDL `CREATE CLASS`).
+    pub fn define_class(&self, builder: ClassBuilder) -> Result<ClassDef> {
+        let mut inner = self.inner.write();
+        let name = builder.name().to_string();
+        if inner.classes.contains_key(&name) {
+            return Err(CatalogError::DuplicateClass(name));
+        }
+        for sup in builder.superclass_names() {
+            if !inner.classes.contains_key(sup) {
+                return Err(CatalogError::UnknownClass(sup.clone()));
+            }
+        }
+        hierarchy::check_acyclic(&inner.classes, &name, builder.superclass_names())?;
+        let extent = match builder.kind() {
+            ClassKind::Class => Some(self.sm.create_heap()?.file_id()),
+            ClassKind::Type => None,
+        };
+        let type_id = inner.next_type_id;
+        inner.next_type_id += 1;
+        let def = builder.build(type_id, extent);
+        // Validate the effective attribute set (inheritance conflicts).
+        inner.classes.insert(name.clone(), def.clone());
+        if let Err(e) = hierarchy::effective_attributes(&inner.classes, &name) {
+            inner.classes.remove(&name);
+            return Err(e);
+        }
+        inner.by_id.insert(type_id, name.clone());
+        if let Some(f) = extent {
+            inner.extent_class.insert(f, name.clone());
+        }
+        inner.store.save_class(&def)?;
+        Ok(def)
+    }
+
+    /// Drop a class. Refuses while subclasses exist.
+    pub fn drop_class(&self, name: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        if !inner.classes.contains_key(name) {
+            return Err(CatalogError::UnknownClass(name.to_string()));
+        }
+        if !hierarchy::all_subclasses(&inner.classes, name).is_empty() {
+            return Err(CatalogError::InheritanceCycle(format!(
+                "cannot drop {name}: subclasses exist"
+            )));
+        }
+        let def = inner.classes.remove(name).expect("checked above");
+        inner.by_id.remove(&def.type_id);
+        if let Some(f) = def.extent {
+            inner.extent_class.remove(&f);
+            self.sm.pool().discard_file(f);
+            let _ = self.sm.pool().disk().drop_file(f);
+        }
+        inner.indexes.retain(|(c, _), info| {
+            if c == name {
+                self.sm.forget_index(info.file);
+                let _ = self.sm.pool().disk().drop_file(info.file);
+                false
+            } else {
+                true
+            }
+        });
+        inner.store.delete_class(name)?;
+        Ok(())
+    }
+
+    fn mutate_class(&self, name: &str, f: impl FnOnce(&mut ClassDef) -> Result<()>) -> Result<()> {
+        let mut inner = self.inner.write();
+        let mut def = inner
+            .classes
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CatalogError::UnknownClass(name.to_string()))?;
+        f(&mut def)?;
+        inner.classes.insert(name.to_string(), def.clone());
+        // Re-validate inheritance for the whole affected subtree.
+        let mut to_check: Vec<String> = vec![name.to_string()];
+        to_check.extend(
+            hierarchy::all_subclasses(&inner.classes, name)
+                .iter()
+                .map(|d| d.name.clone()),
+        );
+        for c in &to_check {
+            if let Err(e) = hierarchy::effective_attributes(&inner.classes, c) {
+                // Roll back.
+                let orig = inner.store.load_all()?;
+                inner.classes = orig.into_iter().map(|d| (d.name.clone(), d)).collect();
+                return Err(e);
+            }
+        }
+        inner.store.save_class(&def)?;
+        Ok(())
+    }
+
+    /// Add an attribute to a class (schema evolution). Existing objects
+    /// read the new attribute as `Null`.
+    pub fn add_attribute(&self, class: &str, name: &str, ty: TypeDescriptor) -> Result<()> {
+        let exists = {
+            let inner = self.inner.read();
+            hierarchy::effective_attributes(&inner.classes, class)?
+                .iter()
+                .any(|a| a.name == name)
+        };
+        if exists {
+            return Err(CatalogError::DuplicateAttribute {
+                class: class.to_string(),
+                attribute: name.to_string(),
+            });
+        }
+        self.mutate_class(class, |def| {
+            def.attributes.push(AttributeDef::new(name, ty));
+            Ok(())
+        })
+    }
+
+    /// Drop an own attribute.
+    pub fn drop_attribute(&self, class: &str, name: &str) -> Result<()> {
+        self.mutate_class(class, |def| {
+            let before = def.attributes.len();
+            def.attributes.retain(|a| a.name != name);
+            if def.attributes.len() == before {
+                return Err(CatalogError::UnknownAttribute {
+                    class: class.to_string(),
+                    attribute: name.to_string(),
+                });
+            }
+            Ok(())
+        })
+    }
+
+    /// Rename an own attribute.
+    pub fn rename_attribute(&self, class: &str, old: &str, new: &str) -> Result<()> {
+        self.mutate_class(class, |def| {
+            let attr = def
+                .attributes
+                .iter_mut()
+                .find(|a| a.name == old)
+                .ok_or_else(|| CatalogError::UnknownAttribute {
+                    class: class.to_string(),
+                    attribute: old.to_string(),
+                })?;
+            attr.name = new.to_string();
+            Ok(())
+        })
+    }
+
+    /// Register a method signature (the body goes to the Function Manager).
+    pub fn add_method(&self, class: &str, sig: MethodSig) -> Result<()> {
+        self.mutate_class(class, |def| {
+            def.methods.retain(|m| m.name != sig.name);
+            def.methods.push(sig);
+            Ok(())
+        })
+    }
+
+    /// Remove a method signature.
+    pub fn drop_method(&self, class: &str, method: &str) -> Result<()> {
+        self.mutate_class(class, |def| {
+            let before = def.methods.len();
+            def.methods.retain(|m| m.name != method);
+            if def.methods.len() == before {
+                return Err(CatalogError::UnknownMethod {
+                    class: class.to_string(),
+                    signature: method.to_string(),
+                });
+            }
+            Ok(())
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Lookup
+    // ------------------------------------------------------------------
+
+    /// Class definition by name.
+    pub fn class(&self, name: &str) -> Result<ClassDef> {
+        self.inner
+            .read()
+            .classes
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CatalogError::UnknownClass(name.to_string()))
+    }
+
+    /// The paper's `typeId(char *typeName)`.
+    pub fn type_id(&self, name: &str) -> Result<TypeId> {
+        Ok(self.class(name)?.type_id)
+    }
+
+    /// The paper's `typeName(int typeId)`.
+    pub fn type_name(&self, id: TypeId) -> Result<String> {
+        self.inner
+            .read()
+            .by_id
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| CatalogError::UnknownClass(format!("#{id}")))
+    }
+
+    /// All class names, sorted.
+    pub fn class_names(&self) -> Vec<String> {
+        let mut v: Vec<_> = self.inner.read().classes.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Effective (inherited + own) attributes.
+    pub fn effective_attributes(&self, class: &str) -> Result<Vec<AttributeDef>> {
+        hierarchy::effective_attributes(&self.inner.read().classes, class)
+    }
+
+    /// The effective tuple type of a class's instances.
+    pub fn effective_type(&self, class: &str) -> Result<TypeDescriptor> {
+        Ok(TypeDescriptor::Tuple(
+            self.effective_attributes(class)?
+                .into_iter()
+                .map(|a| (a.name, a.ty))
+                .collect(),
+        ))
+    }
+
+    /// Transitive subclass names (excluding `class` itself), sorted.
+    pub fn subclasses(&self, class: &str) -> Vec<String> {
+        hierarchy::all_subclasses(&self.inner.read().classes, class)
+            .iter()
+            .map(|d| d.name.clone())
+            .collect()
+    }
+
+    /// Direct + transitive superclass names, nearest first.
+    pub fn superclasses(&self, class: &str) -> Vec<String> {
+        hierarchy::all_superclasses(&self.inner.read().classes, class)
+            .iter()
+            .map(|d| d.name.clone())
+            .collect()
+    }
+
+    pub fn is_subclass(&self, sub: &str, sup: &str) -> bool {
+        hierarchy::is_subclass_of(&self.inner.read().classes, sub, sup)
+    }
+
+    /// Late-binding method resolution: (defining class, signature).
+    pub fn resolve_method(&self, class: &str, method: &str) -> Result<(String, MethodSig)> {
+        hierarchy::resolve_method(&self.inner.read().classes, class, method)
+            .map(|(c, s)| (c.to_string(), s.clone()))
+            .ok_or_else(|| CatalogError::UnknownMethod {
+                class: class.to_string(),
+                signature: method.to_string(),
+            })
+    }
+
+    // ------------------------------------------------------------------
+    // Objects and extents
+    // ------------------------------------------------------------------
+
+    fn extent_file(&self, class: &str) -> Result<FileId> {
+        let def = self.class(class)?;
+        def.extent
+            .ok_or_else(|| CatalogError::NoExtent(class.to_string()))
+    }
+
+    /// Normalize and type-check a value against the class's effective type:
+    /// fields reordered to declaration order, missing fields filled with
+    /// `Null`, unknown fields rejected.
+    pub fn normalize(&self, class: &str, value: Value) -> Result<Value> {
+        let attrs = self.effective_attributes(class)?;
+        let Value::Tuple(mut given) = value else {
+            return Err(CatalogError::TypeMismatch {
+                class: class.to_string(),
+                detail: "objects must be tuples".into(),
+            });
+        };
+        for (name, _) in &given {
+            if !attrs.iter().any(|a| &a.name == name) {
+                return Err(CatalogError::TypeMismatch {
+                    class: class.to_string(),
+                    detail: format!("unknown attribute {name}"),
+                });
+            }
+        }
+        let mut fields = Vec::with_capacity(attrs.len());
+        for attr in &attrs {
+            let v = match given.iter().position(|(n, _)| n == &attr.name) {
+                Some(i) => given.swap_remove(i).1,
+                None => Value::Null,
+            };
+            if !v.matches(&attr.ty) {
+                return Err(CatalogError::TypeMismatch {
+                    class: class.to_string(),
+                    detail: format!("attribute {} expects {}, got {v}", attr.name, attr.ty),
+                });
+            }
+            fields.push((attr.name.clone(), v));
+        }
+        Ok(Value::Tuple(fields))
+    }
+
+    fn encode_object(type_id: TypeId, value: &Value) -> Vec<u8> {
+        let mut bytes = type_id.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&encode_value(value));
+        bytes
+    }
+
+    fn decode_object(bytes: &[u8]) -> Result<(TypeId, Value)> {
+        if bytes.len() < 4 {
+            return Err(CatalogError::Corrupt("object record too short".into()));
+        }
+        let type_id = u32::from_le_bytes(bytes[0..4].try_into().expect("checked"));
+        Ok((type_id, decode_value(&bytes[4..])?))
+    }
+
+    /// Create an object in `class`'s extent: the MOODSQL
+    /// `new Class <values...>` operation.
+    pub fn new_object(&self, class: &str, value: Value) -> Result<Oid> {
+        let value = self.normalize(class, value)?;
+        let file = self.extent_file(class)?;
+        let type_id = self.type_id(class)?;
+        let heap = self.sm.open_heap(file);
+        let oid = heap.insert(&Self::encode_object(type_id, &value))?;
+        self.index_insert(class, &value, oid)?;
+        Ok(oid)
+    }
+
+    /// Fetch an object by OID — the algebra's `Deref`. Returns the class
+    /// name (from the stored type id, so subclass instances report their
+    /// *dynamic* type — late binding needs this) and the value.
+    pub fn get_object(&self, oid: Oid) -> Result<(String, Value)> {
+        let class = self
+            .inner
+            .read()
+            .extent_class
+            .get(&oid.file)
+            .cloned()
+            .ok_or(CatalogError::Storage(
+                mood_storage::StorageError::DanglingOid(oid),
+            ))?;
+        let heap = self.sm.open_heap(oid.file);
+        let (type_id, value) = Self::decode_object(&heap.get(oid)?)?;
+        // Prefer the stored (dynamic) type name when it resolves.
+        let name = self.type_name(type_id).unwrap_or(class);
+        Ok((name, value))
+    }
+
+    /// Update an object in place (OID stable), maintaining indexes.
+    pub fn update_object(&self, oid: Oid, value: Value) -> Result<()> {
+        let (class, old) = self.get_object(oid)?;
+        let value = self.normalize(&class, value)?;
+        self.index_delete(&class, &old, oid)?;
+        let type_id = self.type_id(&class)?;
+        let heap = self.sm.open_heap(oid.file);
+        heap.update(oid, &Self::encode_object(type_id, &value))?;
+        self.index_insert(&class, &value, oid)?;
+        Ok(())
+    }
+
+    /// Delete an object, maintaining indexes.
+    pub fn delete_object(&self, oid: Oid) -> Result<()> {
+        let (class, old) = self.get_object(oid)?;
+        self.index_delete(&class, &old, oid)?;
+        let heap = self.sm.open_heap(oid.file);
+        heap.delete(oid)?;
+        Ok(())
+    }
+
+    /// Scan one class's own extent (no subclasses).
+    pub fn extent(&self, class: &str) -> Result<Vec<(Oid, Value)>> {
+        let file = self.extent_file(class)?;
+        let heap = self.sm.open_heap(file);
+        let mut out = Vec::new();
+        heap.scan_with(|oid, bytes| {
+            if let Ok((_, v)) = Self::decode_object(bytes) {
+                out.push((oid, v));
+            }
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Scan an extent including subclass extents (`FROM EVERY C`), with an
+    /// optional exclusion set (`FROM EVERY C - Sub`, the paper's minus
+    /// operator).
+    pub fn extent_every(&self, class: &str, minus: &[String]) -> Result<Vec<(Oid, Value)>> {
+        let mut excluded: HashSet<String> = HashSet::new();
+        for m in minus {
+            excluded.insert(m.clone());
+            for sub in self.subclasses(m) {
+                excluded.insert(sub);
+            }
+        }
+        let mut out = Vec::new();
+        let mut targets = vec![class.to_string()];
+        targets.extend(self.subclasses(class));
+        for t in targets {
+            if excluded.contains(&t) {
+                continue;
+            }
+            out.extend(self.extent(&t)?);
+        }
+        Ok(out)
+    }
+
+    /// Count of a class's own extent.
+    pub fn extent_count(&self, class: &str) -> Result<u64> {
+        let file = self.extent_file(class)?;
+        Ok(self.sm.open_heap(file).count()?)
+    }
+
+    // ------------------------------------------------------------------
+    // Named objects
+    // ------------------------------------------------------------------
+
+    /// Give `name` to an object — the algebra's `Bind` naming operation.
+    pub fn name_object(&self, name: &str, oid: Oid) {
+        self.inner.write().named.insert(name.to_string(), oid);
+    }
+
+    /// Resolve a named object.
+    pub fn named_object(&self, name: &str) -> Option<Oid> {
+        self.inner.read().named.get(name).copied()
+    }
+
+    // ------------------------------------------------------------------
+    // Indexes
+    // ------------------------------------------------------------------
+
+    /// Create a secondary index on an atomic attribute (or on a Reference
+    /// attribute, which yields the paper's *binary join index*), and build
+    /// it from the current extent.
+    pub fn create_index(
+        &self,
+        class: &str,
+        attribute: &str,
+        kind: IndexKind,
+        unique: bool,
+    ) -> Result<IndexInfo> {
+        let attrs = self.effective_attributes(class)?;
+        let attr = attrs.iter().find(|a| a.name == attribute).ok_or_else(|| {
+            CatalogError::UnknownAttribute {
+                class: class.to_string(),
+                attribute: attribute.to_string(),
+            }
+        })?;
+        if !attr.ty.is_atomic() && !matches!(attr.ty, TypeDescriptor::Reference(_)) {
+            return Err(CatalogError::NotAtomic {
+                class: class.to_string(),
+                attribute: attribute.to_string(),
+            });
+        }
+        {
+            let inner = self.inner.read();
+            if inner
+                .indexes
+                .contains_key(&(class.to_string(), attribute.to_string()))
+            {
+                return Err(CatalogError::DuplicateIndex {
+                    class: class.to_string(),
+                    attribute: attribute.to_string(),
+                });
+            }
+        }
+        let info = match kind {
+            IndexKind::BTree => {
+                let tree = self.sm.create_btree(unique)?;
+                IndexInfo {
+                    class: class.to_string(),
+                    attribute: attribute.to_string(),
+                    kind,
+                    unique,
+                    file: tree.file_id(),
+                    buckets: 0,
+                }
+            }
+            IndexKind::Hash => {
+                let h = self.sm.create_hash(DEFAULT_HASH_BUCKETS)?;
+                IndexInfo {
+                    class: class.to_string(),
+                    attribute: attribute.to_string(),
+                    kind,
+                    unique,
+                    file: h.file_id(),
+                    buckets: DEFAULT_HASH_BUCKETS,
+                }
+            }
+        };
+        self.inner
+            .write()
+            .indexes
+            .insert((class.to_string(), attribute.to_string()), info.clone());
+        // Build from the existing extent (and subclass extents share the
+        // attribute, but each class's index covers its own extent only —
+        // matching the per-extent indexing ESM provided).
+        for (oid, value) in self.extent(class)? {
+            self.index_insert_one(&info, &value, oid)?;
+        }
+        Ok(info)
+    }
+
+    /// Drop an index.
+    pub fn drop_index(&self, class: &str, attribute: &str) -> Result<()> {
+        let info = self
+            .inner
+            .write()
+            .indexes
+            .remove(&(class.to_string(), attribute.to_string()))
+            .ok_or_else(|| CatalogError::UnknownIndex {
+                class: class.to_string(),
+                attribute: attribute.to_string(),
+            })?;
+        self.sm.forget_index(info.file);
+        self.sm.pool().discard_file(info.file);
+        let _ = self.sm.pool().disk().drop_file(info.file);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Path indexes (the "path indices" of Section 3.2's IndSel/Join lists,
+    // in the access-support-relation style of the paper's [Kem 90])
+    // ------------------------------------------------------------------
+
+    /// Create a *path index* on `class` over a reference path ending at an
+    /// atomic attribute (e.g. `Vehicle` over `drivetrain.engine.cylinders`):
+    /// a B+-tree mapping the terminal value to the *root* OIDs reaching it.
+    ///
+    /// Unlike attribute indexes, path indexes are not maintained
+    /// incrementally (an update anywhere along the path would need reverse
+    /// pointers); they are built here and refreshed with
+    /// [`Catalog::rebuild_path_index`] — the maintenance model the access-
+    /// support-relation literature calls "rematerialization".
+    pub fn create_path_index(&self, class: &str, path: &[String]) -> Result<IndexInfo> {
+        if path.len() < 2 {
+            return Err(CatalogError::NotAtomic {
+                class: class.to_string(),
+                attribute: path.join("."),
+            });
+        }
+        // Validate the path: hops must be references, the tail atomic.
+        let mut cur = class.to_string();
+        for (i, seg) in path.iter().enumerate() {
+            let attrs = self.effective_attributes(&cur)?;
+            let attr = attrs.iter().find(|a| a.name == *seg).ok_or_else(|| {
+                CatalogError::UnknownAttribute {
+                    class: cur.clone(),
+                    attribute: seg.clone(),
+                }
+            })?;
+            if i + 1 == path.len() {
+                if !attr.ty.is_atomic() {
+                    return Err(CatalogError::NotAtomic {
+                        class: class.to_string(),
+                        attribute: path.join("."),
+                    });
+                }
+            } else {
+                match attr.ty.referenced_class() {
+                    Some(t) => cur = t.to_string(),
+                    None => {
+                        return Err(CatalogError::NotAtomic {
+                            class: cur,
+                            attribute: seg.clone(),
+                        })
+                    }
+                }
+            }
+        }
+        let dotted = path.join(".");
+        {
+            let inner = self.inner.read();
+            if inner
+                .indexes
+                .contains_key(&(class.to_string(), dotted.clone()))
+            {
+                return Err(CatalogError::DuplicateIndex {
+                    class: class.to_string(),
+                    attribute: dotted,
+                });
+            }
+        }
+        let tree = self.sm.create_btree(false)?;
+        let info = IndexInfo {
+            class: class.to_string(),
+            attribute: dotted.clone(),
+            kind: IndexKind::BTree,
+            unique: false,
+            file: tree.file_id(),
+            buckets: 0,
+        };
+        self.inner
+            .write()
+            .indexes
+            .insert((class.to_string(), dotted), info.clone());
+        self.rebuild_path_index(class, path)?;
+        Ok(info)
+    }
+
+    /// Rebuild a path index from the current extents: clear and re-traverse
+    /// every root object forward along the path.
+    pub fn rebuild_path_index(&self, class: &str, path: &[String]) -> Result<()> {
+        let dotted = path.join(".");
+        let info = self
+            .index(class, &dotted)
+            .ok_or_else(|| CatalogError::UnknownIndex {
+                class: class.to_string(),
+                attribute: dotted.clone(),
+            })?;
+        // Recreate the tree file (cheapest "clear").
+        let fresh = self.sm.create_btree(false)?;
+        let new_file = fresh.file_id();
+        {
+            let mut inner = self.inner.write();
+            if let Some(i) = inner.indexes.get_mut(&(class.to_string(), dotted.clone())) {
+                let old = i.file;
+                i.file = new_file;
+                self.sm.forget_index(old);
+                self.sm.pool().discard_file(old);
+                let _ = self.sm.pool().disk().drop_file(old);
+            }
+        }
+        let tree = self.sm.open_btree(new_file);
+        // `every`: subclass instances share inherited paths.
+        for (root_oid, value) in self.extent_every(class, &[])? {
+            for terminal in self.traverse_path(&value, path)? {
+                if terminal.is_null() {
+                    continue;
+                }
+                let key = encode_key(&terminal).map_err(|_| CatalogError::NotAtomic {
+                    class: class.to_string(),
+                    attribute: dotted.clone(),
+                })?;
+                tree.insert(&key, root_oid)?;
+            }
+        }
+        let _ = info;
+        Ok(())
+    }
+
+    /// Forward-traverse `path` from `value`, fanning out through set/list
+    /// reference attributes; returns the terminal values reached.
+    fn traverse_path(&self, value: &Value, path: &[String]) -> Result<Vec<Value>> {
+        let mut frontier = vec![value.clone()];
+        for (i, seg) in path.iter().enumerate() {
+            let mut next = Vec::new();
+            for v in frontier {
+                let Some(field) = v.field(seg) else { continue };
+                if i + 1 == path.len() {
+                    next.push(field.clone());
+                    continue;
+                }
+                let oids: Vec<Oid> = match field {
+                    Value::Ref(o) => vec![*o],
+                    Value::Set(items) | Value::List(items) => {
+                        items.iter().filter_map(|x| x.as_oid()).collect()
+                    }
+                    _ => Vec::new(),
+                };
+                for oid in oids {
+                    if let Ok((_, target)) = self.get_object(oid) {
+                        next.push(target);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        Ok(frontier)
+    }
+
+    /// Registered index on (class, attribute), if any.
+    pub fn index(&self, class: &str, attribute: &str) -> Option<IndexInfo> {
+        self.inner
+            .read()
+            .indexes
+            .get(&(class.to_string(), attribute.to_string()))
+            .cloned()
+    }
+
+    /// All registered indexes.
+    pub fn indexes(&self) -> Vec<IndexInfo> {
+        self.inner.read().indexes.values().cloned().collect()
+    }
+
+    fn index_insert(&self, class: &str, value: &Value, oid: Oid) -> Result<()> {
+        let infos: Vec<IndexInfo> = {
+            let inner = self.inner.read();
+            inner
+                .indexes
+                .values()
+                .filter(|i| i.class == class)
+                .cloned()
+                .collect()
+        };
+        for info in infos {
+            self.index_insert_one(&info, value, oid)?;
+        }
+        Ok(())
+    }
+
+    fn index_insert_one(&self, info: &IndexInfo, value: &Value, oid: Oid) -> Result<()> {
+        let Some(field) = value.field(&info.attribute) else {
+            return Ok(());
+        };
+        if field.is_null() {
+            return Ok(()); // nulls are not indexed
+        }
+        let key = encode_key(field).map_err(|_| CatalogError::NotAtomic {
+            class: info.class.clone(),
+            attribute: info.attribute.clone(),
+        })?;
+        match info.kind {
+            IndexKind::BTree => self.sm.open_btree(info.file).insert(&key, oid)?,
+            IndexKind::Hash => self
+                .sm
+                .open_hash(info.file, info.buckets)
+                .insert(&key, oid)?,
+        }
+        Ok(())
+    }
+
+    fn index_delete(&self, class: &str, value: &Value, oid: Oid) -> Result<()> {
+        let infos: Vec<IndexInfo> = {
+            let inner = self.inner.read();
+            inner
+                .indexes
+                .values()
+                .filter(|i| i.class == class)
+                .cloned()
+                .collect()
+        };
+        for info in infos {
+            let Some(field) = value.field(&info.attribute) else {
+                continue;
+            };
+            if field.is_null() {
+                continue;
+            }
+            let key = encode_key(field).map_err(|_| CatalogError::NotAtomic {
+                class: info.class.clone(),
+                attribute: info.attribute.clone(),
+            })?;
+            match info.kind {
+                IndexKind::BTree => {
+                    self.sm.open_btree(info.file).delete(&key, oid)?;
+                }
+                IndexKind::Hash => {
+                    self.sm
+                        .open_hash(info.file, info.buckets)
+                        .delete(&key, oid)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Equality probe through an index.
+    pub fn index_lookup(&self, class: &str, attribute: &str, key: &Value) -> Result<Vec<Oid>> {
+        let info = self
+            .index(class, attribute)
+            .ok_or_else(|| CatalogError::UnknownIndex {
+                class: class.to_string(),
+                attribute: attribute.to_string(),
+            })?;
+        let k = encode_key(key).map_err(|_| CatalogError::NotAtomic {
+            class: class.to_string(),
+            attribute: attribute.to_string(),
+        })?;
+        Ok(match info.kind {
+            IndexKind::BTree => self.sm.open_btree(info.file).lookup(&k)?,
+            IndexKind::Hash => self.sm.open_hash(info.file, info.buckets).lookup(&k)?,
+        })
+    }
+
+    /// Range probe (B+-tree indexes only; `None` bound = unbounded).
+    pub fn index_range(
+        &self,
+        class: &str,
+        attribute: &str,
+        lo: Option<(&Value, bool)>,
+        hi: Option<(&Value, bool)>,
+    ) -> Result<Vec<Oid>> {
+        let info = self
+            .index(class, attribute)
+            .ok_or_else(|| CatalogError::UnknownIndex {
+                class: class.to_string(),
+                attribute: attribute.to_string(),
+            })?;
+        if info.kind != IndexKind::BTree {
+            return Err(CatalogError::UnknownIndex {
+                class: class.to_string(),
+                attribute: format!("{attribute} (hash index cannot range-scan)"),
+            });
+        }
+        let enc = |v: &Value| {
+            encode_key(v).map_err(|_| CatalogError::NotAtomic {
+                class: class.to_string(),
+                attribute: attribute.to_string(),
+            })
+        };
+        let lo_k = lo.map(|(v, inc)| enc(v).map(|k| (k, inc))).transpose()?;
+        let hi_k = hi.map(|(v, inc)| enc(v).map(|k| (k, inc))).transpose()?;
+        let mut out = Vec::new();
+        self.sm.open_btree(info.file).range_scan(
+            lo_k.as_ref().map(|(k, _)| k.as_slice()),
+            lo_k.as_ref().map(|(_, inc)| *inc).unwrap_or(true),
+            hi_k.as_ref().map(|(k, _)| k.as_slice()),
+            hi_k.as_ref().map(|(_, inc)| *inc).unwrap_or(true),
+            |_, oid| {
+                out.push(oid);
+                true
+            },
+        )?;
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Statistics
+    // ------------------------------------------------------------------
+
+    /// A snapshot of the current statistics.
+    pub fn stats(&self) -> DatabaseStats {
+        self.inner.read().stats.clone()
+    }
+
+    /// Replace the statistics wholesale (used to inject the paper's
+    /// Tables 13–15).
+    pub fn set_stats(&self, stats: DatabaseStats) {
+        self.inner.write().stats = stats;
+    }
+
+    /// Recompute statistics for every class by scanning extents: the
+    /// Table 8 parameters plus Table 9 for every B+-tree index.
+    pub fn collect_stats(&self) -> Result<DatabaseStats> {
+        let classes = self.class_names();
+        let mut stats = DatabaseStats::new();
+        for class in &classes {
+            let def = self.class(class)?;
+            let Some(file) = def.extent else { continue };
+            let heap = self.sm.open_heap(file);
+            let objects = self.extent(class)?;
+            let cardinality = objects.len() as u64;
+            let total_bytes: u64 = objects
+                .iter()
+                .map(|(_, v)| encode_value(v).len() as u64 + 4)
+                .sum();
+            stats.set_class(
+                class,
+                ClassStats {
+                    cardinality,
+                    nbpages: heap.pages()? as u64,
+                    size: total_bytes.checked_div(cardinality).unwrap_or(0),
+                },
+            );
+            for attr in self.effective_attributes(class)? {
+                match &attr.ty {
+                    TypeDescriptor::Basic(_) => {
+                        let mut distinct: HashSet<Vec<u8>> = HashSet::new();
+                        let mut notnull = 0u64;
+                        let mut min = f64::INFINITY;
+                        let mut max = f64::NEG_INFINITY;
+                        let mut numeric = false;
+                        for (_, v) in &objects {
+                            let Some(f) = v.field(&attr.name) else {
+                                continue;
+                            };
+                            if f.is_null() {
+                                continue;
+                            }
+                            notnull += 1;
+                            if let Ok(k) = encode_key(f) {
+                                distinct.insert(k);
+                            }
+                            if let Some(x) = f.as_f64() {
+                                numeric = true;
+                                min = min.min(x);
+                                max = max.max(x);
+                            }
+                        }
+                        stats.set_attr(
+                            class,
+                            &attr.name,
+                            AttrStats {
+                                notnull: if cardinality == 0 {
+                                    0.0
+                                } else {
+                                    notnull as f64 / cardinality as f64
+                                },
+                                dist: distinct.len() as u64,
+                                max: numeric.then_some(max),
+                                min: numeric.then_some(min),
+                            },
+                        );
+                    }
+                    ty => {
+                        let Some(target) = ty.referenced_class() else {
+                            continue;
+                        };
+                        let mut links = 0u64;
+                        let mut referenced: HashSet<Oid> = HashSet::new();
+                        for (_, v) in &objects {
+                            let Some(f) = v.field(&attr.name) else {
+                                continue;
+                            };
+                            let oids: Vec<Oid> = match f {
+                                Value::Ref(o) => vec![*o],
+                                Value::Set(items) | Value::List(items) => {
+                                    items.iter().filter_map(|i| i.as_oid()).collect()
+                                }
+                                _ => Vec::new(),
+                            };
+                            links += oids.len() as u64;
+                            referenced.extend(oids);
+                        }
+                        stats.set_ref(
+                            class,
+                            &attr.name,
+                            RefStats {
+                                target: target.to_string(),
+                                fan: if cardinality == 0 {
+                                    0.0
+                                } else {
+                                    links as f64 / cardinality as f64
+                                },
+                                totref: referenced.len() as u64,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        // Table 9: B+-tree index statistics.
+        for info in self.indexes() {
+            if info.kind == IndexKind::BTree {
+                let s = self.sm.open_btree(info.file).stats()?;
+                stats.set_index(&info.class, &info.attribute, s);
+            }
+        }
+        self.inner.write().stats = stats.clone();
+        Ok(stats)
+    }
+}
+
+/// Deep-equality resolution through the catalog's extents.
+impl Resolver for Catalog {
+    fn resolve(&self, oid: Oid) -> Option<Value> {
+        self.get_object(oid).ok().map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vehicle_catalog() -> Catalog {
+        let sm = Arc::new(StorageManager::in_memory());
+        let cat = Catalog::create(sm).unwrap();
+        cat.define_class(
+            ClassBuilder::class("Company")
+                .attribute("name", TypeDescriptor::string())
+                .attribute("location", TypeDescriptor::string()),
+        )
+        .unwrap();
+        cat.define_class(
+            ClassBuilder::class("Vehicle")
+                .attribute("id", TypeDescriptor::integer())
+                .attribute("weight", TypeDescriptor::integer())
+                .attribute("manufacturer", TypeDescriptor::reference("Company"))
+                .method(MethodSig::new(
+                    "lbweight",
+                    TypeDescriptor::integer(),
+                    vec![],
+                )),
+        )
+        .unwrap();
+        cat.define_class(ClassBuilder::class("Automobile").inherits("Vehicle"))
+            .unwrap();
+        cat.define_class(ClassBuilder::class("JapaneseAuto").inherits("Automobile"))
+            .unwrap();
+        cat
+    }
+
+    #[test]
+    fn type_id_name_roundtrip() {
+        let cat = vehicle_catalog();
+        let id = cat.type_id("Vehicle").unwrap();
+        assert_eq!(cat.type_name(id).unwrap(), "Vehicle");
+        assert!(cat.type_id("Nope").is_err());
+    }
+
+    #[test]
+    fn object_crud_with_normalization() {
+        let cat = vehicle_catalog();
+        let oid = cat
+            .new_object(
+                "Vehicle",
+                // Fields out of order and one missing (manufacturer → Null).
+                Value::tuple(vec![
+                    ("weight", Value::Integer(1500)),
+                    ("id", Value::Integer(1)),
+                ]),
+            )
+            .unwrap();
+        let (class, v) = cat.get_object(oid).unwrap();
+        assert_eq!(class, "Vehicle");
+        assert_eq!(v.field("id"), Some(&Value::Integer(1)));
+        assert_eq!(v.field("manufacturer"), Some(&Value::Null));
+
+        cat.update_object(
+            oid,
+            Value::tuple(vec![
+                ("id", Value::Integer(1)),
+                ("weight", Value::Integer(1600)),
+            ]),
+        )
+        .unwrap();
+        let (_, v) = cat.get_object(oid).unwrap();
+        assert_eq!(v.field("weight"), Some(&Value::Integer(1600)));
+
+        cat.delete_object(oid).unwrap();
+        assert!(cat.get_object(oid).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let cat = vehicle_catalog();
+        let err = cat
+            .new_object("Vehicle", Value::tuple(vec![("id", Value::string("one"))]))
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::TypeMismatch { .. }));
+        let err = cat
+            .new_object("Vehicle", Value::tuple(vec![("bogus", Value::Integer(1))]))
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn subclass_instances_report_dynamic_type() {
+        let cat = vehicle_catalog();
+        let oid = cat
+            .new_object(
+                "JapaneseAuto",
+                Value::tuple(vec![("id", Value::Integer(7))]),
+            )
+            .unwrap();
+        let (class, _) = cat.get_object(oid).unwrap();
+        assert_eq!(class, "JapaneseAuto");
+    }
+
+    #[test]
+    fn extent_every_and_minus() {
+        let cat = vehicle_catalog();
+        cat.new_object("Vehicle", Value::tuple(vec![("id", Value::Integer(1))]))
+            .unwrap();
+        cat.new_object("Automobile", Value::tuple(vec![("id", Value::Integer(2))]))
+            .unwrap();
+        cat.new_object(
+            "JapaneseAuto",
+            Value::tuple(vec![("id", Value::Integer(3))]),
+        )
+        .unwrap();
+
+        assert_eq!(cat.extent("Vehicle").unwrap().len(), 1);
+        assert_eq!(cat.extent_every("Vehicle", &[]).unwrap().len(), 3);
+        // The paper's query: EVERY Automobile - JapaneseAuto.
+        let minus = cat
+            .extent_every("Automobile", &["JapaneseAuto".to_string()])
+            .unwrap();
+        assert_eq!(minus.len(), 1);
+        assert_eq!(minus[0].1.field("id"), Some(&Value::Integer(2)));
+    }
+
+    #[test]
+    fn btree_index_lookup_and_maintenance() {
+        let cat = vehicle_catalog();
+        cat.create_index("Vehicle", "weight", IndexKind::BTree, false)
+            .unwrap();
+        let oids: Vec<_> = (0..50)
+            .map(|i| {
+                cat.new_object(
+                    "Vehicle",
+                    Value::tuple(vec![
+                        ("id", Value::Integer(i)),
+                        ("weight", Value::Integer(1000 + (i % 5) * 100)),
+                    ]),
+                )
+                .unwrap()
+            })
+            .collect();
+        let hits = cat
+            .index_lookup("Vehicle", "weight", &Value::Integer(1200))
+            .unwrap();
+        assert_eq!(hits.len(), 10);
+        // Range probe 1000..=1100.
+        let range = cat
+            .index_range(
+                "Vehicle",
+                "weight",
+                Some((&Value::Integer(1000), true)),
+                Some((&Value::Integer(1100), true)),
+            )
+            .unwrap();
+        assert_eq!(range.len(), 20);
+        // Update moves the entry.
+        cat.update_object(
+            oids[0],
+            Value::tuple(vec![
+                ("id", Value::Integer(0)),
+                ("weight", Value::Integer(9999)),
+            ]),
+        )
+        .unwrap();
+        assert_eq!(
+            cat.index_lookup("Vehicle", "weight", &Value::Integer(9999))
+                .unwrap(),
+            vec![oids[0]]
+        );
+        // Delete removes it.
+        cat.delete_object(oids[0]).unwrap();
+        assert!(cat
+            .index_lookup("Vehicle", "weight", &Value::Integer(9999))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn hash_index_lookup() {
+        let cat = vehicle_catalog();
+        cat.create_index("Company", "name", IndexKind::Hash, false)
+            .unwrap();
+        let bmw = cat
+            .new_object(
+                "Company",
+                Value::tuple(vec![("name", Value::string("BMW"))]),
+            )
+            .unwrap();
+        cat.new_object(
+            "Company",
+            Value::tuple(vec![("name", Value::string("Toyota"))]),
+        )
+        .unwrap();
+        assert_eq!(
+            cat.index_lookup("Company", "name", &Value::string("BMW"))
+                .unwrap(),
+            vec![bmw]
+        );
+        // Hash indexes refuse range scans.
+        assert!(cat
+            .index_range("Company", "name", None, Some((&Value::string("M"), true)))
+            .is_err());
+    }
+
+    #[test]
+    fn index_built_from_existing_extent() {
+        let cat = vehicle_catalog();
+        for i in 0..20 {
+            cat.new_object("Vehicle", Value::tuple(vec![("id", Value::Integer(i))]))
+                .unwrap();
+        }
+        cat.create_index("Vehicle", "id", IndexKind::BTree, true)
+            .unwrap();
+        assert_eq!(
+            cat.index_lookup("Vehicle", "id", &Value::Integer(7))
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn binary_join_index_on_reference() {
+        let cat = vehicle_catalog();
+        let bmw = cat
+            .new_object(
+                "Company",
+                Value::tuple(vec![("name", Value::string("BMW"))]),
+            )
+            .unwrap();
+        cat.create_index("Vehicle", "manufacturer", IndexKind::BTree, false)
+            .unwrap();
+        let car = cat
+            .new_object(
+                "Vehicle",
+                Value::tuple(vec![
+                    ("id", Value::Integer(1)),
+                    ("manufacturer", Value::Ref(bmw)),
+                ]),
+            )
+            .unwrap();
+        assert_eq!(
+            cat.index_lookup("Vehicle", "manufacturer", &Value::Ref(bmw))
+                .unwrap(),
+            vec![car]
+        );
+    }
+
+    #[test]
+    fn schema_evolution_add_drop_rename() {
+        let cat = vehicle_catalog();
+        let oid = cat
+            .new_object("Vehicle", Value::tuple(vec![("id", Value::Integer(1))]))
+            .unwrap();
+        cat.add_attribute("Vehicle", "color", TypeDescriptor::string())
+            .unwrap();
+        // Existing object reads the new attribute as Null.
+        let (_, v) = cat.get_object(oid).unwrap();
+        assert_eq!(
+            v.field("color"),
+            None,
+            "stored value predates the attribute"
+        );
+        let norm = cat.normalize("Vehicle", v).unwrap();
+        assert_eq!(norm.field("color"), Some(&Value::Null));
+        // Subclasses see it too.
+        assert!(cat
+            .effective_attributes("JapaneseAuto")
+            .unwrap()
+            .iter()
+            .any(|a| a.name == "color"));
+        cat.rename_attribute("Vehicle", "color", "paint").unwrap();
+        assert!(cat.class("Vehicle").unwrap().attribute("paint").is_some());
+        cat.drop_attribute("Vehicle", "paint").unwrap();
+        assert!(cat.class("Vehicle").unwrap().attribute("paint").is_none());
+        // Duplicate-vs-inherited is rejected.
+        assert!(matches!(
+            cat.add_attribute("Automobile", "id", TypeDescriptor::integer()),
+            Err(CatalogError::DuplicateAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn drop_class_guards_subclasses() {
+        let cat = vehicle_catalog();
+        assert!(cat.drop_class("Vehicle").is_err(), "has subclasses");
+        cat.drop_class("JapaneseAuto").unwrap();
+        cat.drop_class("Automobile").unwrap();
+        cat.drop_class("Vehicle").unwrap();
+        assert!(cat.class("Vehicle").is_err());
+    }
+
+    #[test]
+    fn persistence_roundtrip_via_root() {
+        let sm = Arc::new(StorageManager::in_memory());
+        let root;
+        {
+            let cat = Catalog::create(sm.clone()).unwrap();
+            cat.define_class(
+                ClassBuilder::class("Employee")
+                    .attribute("ssno", TypeDescriptor::integer())
+                    .attribute("name", TypeDescriptor::string()),
+            )
+            .unwrap();
+            root = cat.root();
+        }
+        let cat = Catalog::open(sm, root).unwrap();
+        let def = cat.class("Employee").unwrap();
+        assert_eq!(def.attributes.len(), 2);
+        // New definitions get fresh, non-colliding type ids.
+        let d2 = cat.define_class(ClassBuilder::class("Dept")).unwrap();
+        assert!(d2.type_id > def.type_id);
+    }
+
+    #[test]
+    fn value_types_have_no_extent() {
+        let cat = vehicle_catalog();
+        // A *type* (copy semantics, Section 2): no extent, no instances in
+        // any extent scan, but usable as an attribute type.
+        cat.define_class(
+            ClassBuilder::value_type("Money").attribute("amount", TypeDescriptor::float()),
+        )
+        .unwrap();
+        let err = cat
+            .new_object("Money", Value::tuple(vec![("amount", Value::Float(1.0))]))
+            .unwrap_err();
+        assert!(matches!(err, CatalogError::NoExtent(_)));
+        assert!(cat.extent("Money").is_err());
+        // It still has a type id and participates in typeName lookups.
+        let id = cat.type_id("Money").unwrap();
+        assert_eq!(cat.type_name(id).unwrap(), "Money");
+    }
+
+    #[test]
+    fn named_objects() {
+        let cat = vehicle_catalog();
+        let oid = cat
+            .new_object(
+                "Company",
+                Value::tuple(vec![("name", Value::string("METU"))]),
+            )
+            .unwrap();
+        cat.name_object("home", oid);
+        assert_eq!(cat.named_object("home"), Some(oid));
+        assert_eq!(cat.named_object("away"), None);
+    }
+
+    #[test]
+    fn collect_stats_measures_extents() {
+        let cat = vehicle_catalog();
+        let bmw = cat
+            .new_object(
+                "Company",
+                Value::tuple(vec![("name", Value::string("BMW"))]),
+            )
+            .unwrap();
+        let toyota = cat
+            .new_object(
+                "Company",
+                Value::tuple(vec![("name", Value::string("Toyota"))]),
+            )
+            .unwrap();
+        for i in 0..10 {
+            let m = if i % 2 == 0 { bmw } else { toyota };
+            cat.new_object(
+                "Vehicle",
+                Value::tuple(vec![
+                    ("id", Value::Integer(i)),
+                    ("weight", Value::Integer(1000 + i * 10)),
+                    ("manufacturer", Value::Ref(m)),
+                ]),
+            )
+            .unwrap();
+        }
+        cat.create_index("Vehicle", "weight", IndexKind::BTree, false)
+            .unwrap();
+        let stats = cat.collect_stats().unwrap();
+        let v = stats.class("Vehicle").unwrap();
+        assert_eq!(v.cardinality, 10);
+        assert!(v.nbpages >= 1);
+        assert!(v.size > 0);
+        let w = stats.attr("Vehicle", "weight").unwrap();
+        assert_eq!(w.dist, 10);
+        assert_eq!(w.min, Some(1000.0));
+        assert_eq!(w.max, Some(1090.0));
+        assert_eq!(w.notnull, 1.0);
+        let r = stats.reference("Vehicle", "manufacturer").unwrap();
+        assert_eq!(r.target, "Company");
+        assert_eq!(r.fan, 1.0);
+        assert_eq!(r.totref, 2);
+        assert_eq!(stats.totlinks("Vehicle", "manufacturer"), Some(10.0));
+        assert_eq!(stats.hitprb("Vehicle", "manufacturer"), Some(1.0));
+        assert!(stats.index("Vehicle", "weight").is_some());
+    }
+
+    #[test]
+    fn deep_equality_through_catalog() {
+        let cat = vehicle_catalog();
+        let a = cat
+            .new_object("Company", Value::tuple(vec![("name", Value::string("X"))]))
+            .unwrap();
+        let b = cat
+            .new_object("Company", Value::tuple(vec![("name", Value::string("X"))]))
+            .unwrap();
+        assert!(mood_datamodel::deep_eq(
+            &Value::Ref(a),
+            &Value::Ref(b),
+            &cat
+        ));
+    }
+}

@@ -1,0 +1,162 @@
+//! `mood` — an interactive MOODSQL shell over a MOOD database.
+//!
+//! ```sh
+//! cargo run -p mood-core --bin mood                 # in-memory session
+//! cargo run -p mood-core --bin mood -- /path/to/db  # persistent database
+//! echo "SELECT e FROM Employee e" | mood /path/to/db
+//! ```
+//!
+//! Statements end with `;` (or end-of-line for single-line input). Shell
+//! commands: `.help`, `.classes`, `.schema [Class]`, `.hierarchy`,
+//! `.stats`, `.trace`, `.quit`.
+
+use std::io::{BufRead, Write};
+
+use mood_core::{Answer, Mood};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let db = match &arg {
+        Some(path) => match Mood::open(path) {
+            Ok(db) => {
+                eprintln!("opened database at {path}");
+                db
+            }
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            eprintln!("in-memory database (pass a directory for persistence)");
+            Mood::in_memory()
+        }
+    };
+
+    let stdin = std::io::stdin();
+    let interactive = is_tty();
+    let mut buffer = String::new();
+    if interactive {
+        prompt(&buffer);
+    }
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !shell_command(&db, trimmed) {
+                break;
+            }
+            if interactive {
+                prompt(&buffer);
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        // Execute on `;` or, for convenience, on any non-continuation line
+        // that parses as a complete statement.
+        let ready = trimmed.ends_with(';')
+            || (!trimmed.is_empty() && mood_core::sql::parse(&buffer).is_ok());
+        if ready {
+            let stmt = std::mem::take(&mut buffer);
+            run(&db, stmt.trim());
+        }
+        if interactive {
+            prompt(&buffer);
+        }
+    }
+    if !buffer.trim().is_empty() {
+        run(&db, buffer.trim());
+    }
+    let _ = db.checkpoint();
+}
+
+fn is_tty() -> bool {
+    // Conservative: honor an env override, otherwise assume non-interactive
+    // when piped (std::io::IsTerminal is stable).
+    use std::io::IsTerminal;
+    std::io::stdin().is_terminal()
+}
+
+fn prompt(buffer: &str) {
+    if buffer.is_empty() {
+        eprint!("mood> ");
+    } else {
+        eprint!("  ..> ");
+    }
+    let _ = std::io::stderr().flush();
+}
+
+fn run(db: &Mood, sql: &str) {
+    if sql.is_empty() {
+        return;
+    }
+    match db.execute(sql) {
+        Ok(Answer::Rows(r)) => {
+            if !r.columns.is_empty() {
+                println!("{}", r.columns.join(" | "));
+                println!("{}", "-".repeat(r.columns.join(" | ").len().max(8)));
+            }
+            let n = r.rows.len();
+            for row in &r.rows {
+                let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                println!("{}", cells.join(" | "));
+            }
+            println!("({n} row{})", if n == 1 { "" } else { "s" });
+        }
+        Ok(Answer::Plan(p)) => print!("{p}"),
+        Ok(Answer::Created(v)) => println!("created {v}"),
+        Ok(Answer::Done { affected }) => println!("ok ({affected} affected)"),
+        Err(e) => eprintln!("error: {e}"),
+    }
+}
+
+fn shell_command(db: &Mood, cmd: &str) -> bool {
+    let mut parts = cmd.splitn(2, ' ');
+    match parts.next().unwrap_or("") {
+        ".quit" | ".exit" => return false,
+        ".help" => {
+            println!(
+                ".classes            list classes\n\
+                 .schema <Class>     class presentation card\n\
+                 .hierarchy          ASCII class hierarchy\n\
+                 .dot                Graphviz DOT of the hierarchy\n\
+                 .stats              collect and show Table 8 statistics\n\
+                 .trace              stage trace of the last SELECT\n\
+                 .quit               leave\n\
+                 Any other input is MOODSQL (end statements with ';')."
+            );
+        }
+        ".classes" => {
+            for c in db.catalog().class_names() {
+                println!("{c}");
+            }
+        }
+        ".schema" => match parts.next() {
+            Some(class) => match db.render_class(class.trim()) {
+                Ok(card) => print!("{card}"),
+                Err(e) => eprintln!("error: {e}"),
+            },
+            None => eprintln!("usage: .schema <Class>"),
+        },
+        ".hierarchy" => print!("{}", db.render_hierarchy()),
+        ".dot" => print!("{}", db.render_hierarchy_dot()),
+        ".stats" => match db.collect_stats() {
+            Ok(stats) => {
+                for (class, s) in stats.classes() {
+                    println!(
+                        "{class}: |C|={} nbpages={} size={}B",
+                        s.cardinality, s.nbpages, s.size
+                    );
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ".trace" => println!("{}", db.last_trace().join(" -> ")),
+        other => eprintln!("unknown command {other}; try .help"),
+    }
+    true
+}

@@ -1,0 +1,374 @@
+//! # mood-core — the METU Object-Oriented DBMS (MOOD) kernel
+//!
+//! The public face of the reproduction: a [`Mood`] database handle wiring
+//! together the ESM-substrate storage manager, the catalog, the Function
+//! Manager, the MOODSQL interpreter with its cost-based optimizer, and the
+//! headless MoodView tools — the component diagram of the paper's
+//! Figure 2.1.
+//!
+//! ```
+//! use mood_core::Mood;
+//!
+//! let db = Mood::in_memory();
+//! db.execute("CREATE CLASS Employee TUPLE (name String(32), age Integer)").unwrap();
+//! db.execute("new Employee <'Budak Arpinar', 25>").unwrap();
+//! let mut cursor = db.query("SELECT e.name FROM Employee e WHERE e.age > 20").unwrap();
+//! assert_eq!(cursor.next().unwrap()[0].to_string(), "'Budak Arpinar'");
+//! ```
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+pub use mood_algebra as algebra;
+pub use mood_catalog as catalog;
+pub use mood_cost as cost;
+pub use mood_datamodel as datamodel;
+pub use mood_funcman as funcman;
+pub use mood_optimizer as optimizer;
+pub use mood_sql as sql;
+pub use mood_storage as storage;
+pub use mood_view as view;
+
+pub use mood_catalog::{Catalog, CatalogRoot, ClassBuilder, DatabaseStats, IndexKind, MethodSig};
+pub use mood_datamodel::{TypeDescriptor, Value};
+pub use mood_funcman::{Exception, FunctionManager, NativeFn};
+pub use mood_optimizer::OptimizerConfig;
+pub use mood_sql::{Answer, Cursor, QueryResult, Session, SqlError};
+pub use mood_storage::{DiskMetrics, MetricsSnapshot, Oid, PhysicalParams, StorageManager};
+
+/// Top-level error for kernel operations.
+#[derive(Debug)]
+pub enum MoodError {
+    Sql(SqlError),
+    Catalog(mood_catalog::CatalogError),
+    Storage(mood_storage::StorageError),
+    Exception(Exception),
+    Io(String),
+}
+
+impl std::fmt::Display for MoodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MoodError::Sql(e) => write!(f, "{e}"),
+            MoodError::Catalog(e) => write!(f, "{e}"),
+            MoodError::Storage(e) => write!(f, "{e}"),
+            MoodError::Exception(e) => write!(f, "{e}"),
+            MoodError::Io(m) => write!(f, "I/O: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MoodError {}
+
+impl From<SqlError> for MoodError {
+    fn from(e: SqlError) -> Self {
+        MoodError::Sql(e)
+    }
+}
+impl From<mood_catalog::CatalogError> for MoodError {
+    fn from(e: mood_catalog::CatalogError) -> Self {
+        MoodError::Catalog(e)
+    }
+}
+impl From<mood_storage::StorageError> for MoodError {
+    fn from(e: mood_storage::StorageError) -> Self {
+        MoodError::Storage(e)
+    }
+}
+impl From<Exception> for MoodError {
+    fn from(e: Exception) -> Self {
+        MoodError::Exception(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, MoodError>;
+
+/// A MOOD database instance.
+pub struct Mood {
+    sm: Arc<StorageManager>,
+    catalog: Arc<Catalog>,
+    funcman: Arc<FunctionManager>,
+    session: Mutex<Session>,
+}
+
+impl Mood {
+    /// An in-memory database (tests, examples, benches).
+    pub fn in_memory() -> Mood {
+        Self::from_storage(Arc::new(StorageManager::in_memory()), None)
+            .expect("in-memory bootstrap cannot fail")
+    }
+
+    /// In-memory with an explicit buffer-pool size in frames — small pools
+    /// reproduce the paper's worst-case (no-buffer-hit) cost analyses.
+    pub fn in_memory_with_pool(frames: usize) -> Mood {
+        Self::from_storage(Arc::new(StorageManager::in_memory_with_pool(frames)), None)
+            .expect("in-memory bootstrap cannot fail")
+    }
+
+    /// Open (or create) a database rooted at a directory.
+    pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Mood> {
+        let dir = dir.as_ref();
+        let sm = Arc::new(StorageManager::on_disk(dir, 1024)?);
+        let root_file = dir.join("catalog.root");
+        let root = match std::fs::read(&root_file) {
+            Ok(bytes) if bytes.len() == 12 => Some(CatalogRoot {
+                types: mood_storage::FileId(u32::from_le_bytes(bytes[0..4].try_into().unwrap())),
+                attrs: mood_storage::FileId(u32::from_le_bytes(bytes[4..8].try_into().unwrap())),
+                funcs: mood_storage::FileId(u32::from_le_bytes(bytes[8..12].try_into().unwrap())),
+            }),
+            _ => None,
+        };
+        let db = Self::from_storage(sm, root)?;
+        if root.is_none() {
+            let r = db.catalog.root();
+            let mut bytes = Vec::with_capacity(12);
+            bytes.extend_from_slice(&r.types.0.to_le_bytes());
+            bytes.extend_from_slice(&r.attrs.0.to_le_bytes());
+            bytes.extend_from_slice(&r.funcs.0.to_le_bytes());
+            std::fs::write(&root_file, bytes).map_err(|e| MoodError::Io(e.to_string()))?;
+        }
+        Ok(db)
+    }
+
+    fn from_storage(sm: Arc<StorageManager>, root: Option<CatalogRoot>) -> Result<Mood> {
+        let catalog = Arc::new(match root {
+            Some(r) => Catalog::open(sm.clone(), r)?,
+            None => Catalog::create(sm.clone())?,
+        });
+        let funcman = Arc::new(FunctionManager::new(catalog.clone()));
+        let session = Mutex::new(Session::new(catalog.clone(), funcman.clone()));
+        Ok(Mood {
+            sm,
+            catalog,
+            funcman,
+            session,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // SQL interface (the "standard communication protocol" of §9.4)
+    // ------------------------------------------------------------------
+
+    /// Execute one MOODSQL statement.
+    pub fn execute(&self, sql: &str) -> Result<Answer> {
+        Ok(self.session.lock().execute(sql)?)
+    }
+
+    /// Execute a query, returning a cursor (Section 9.4's mechanism).
+    pub fn query(&self, sql: &str) -> Result<Cursor> {
+        Ok(self.session.lock().query(sql)?)
+    }
+
+    /// Optimize a query and return its access plan in the paper's notation.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        match self.execute(&format!("EXPLAIN {sql}"))? {
+            Answer::Plan(p) => Ok(p),
+            other => Err(MoodError::Sql(SqlError::Exec(format!(
+                "not a plan: {other:?}"
+            )))),
+        }
+    }
+
+    /// Stage trace of the last executed SELECT.
+    pub fn last_trace(&self) -> Vec<String> {
+        self.session.lock().last_trace().to_vec()
+    }
+
+    /// Use a specific optimizer configuration (physical disk parameters,
+    /// CPU cost).
+    pub fn set_optimizer_config(&self, config: OptimizerConfig) {
+        let mut s = self.session.lock();
+        let fresh = Session::new(self.catalog.clone(), self.funcman.clone()).with_config(config);
+        *s = fresh;
+    }
+
+    // ------------------------------------------------------------------
+    // Direct component access
+    // ------------------------------------------------------------------
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    pub fn funcman(&self) -> &Arc<FunctionManager> {
+        &self.funcman
+    }
+
+    pub fn storage(&self) -> &Arc<StorageManager> {
+        &self.sm
+    }
+
+    /// Disk-access metrics (the instrumentation the benches read).
+    pub fn metrics(&self) -> &DiskMetrics {
+        self.sm.metrics()
+    }
+
+    /// Register a natively implemented method (the analogue of linking
+    /// pre-compiled C++ object code).
+    pub fn register_native_method(
+        &self,
+        class: &str,
+        sig: MethodSig,
+        body: NativeFn,
+    ) -> Result<()> {
+        Ok(self.funcman.register_native(class, sig, body)?)
+    }
+
+    /// Invoke a method on a stored object.
+    pub fn invoke(&self, oid: Oid, method: &str, args: &[Value]) -> Result<Value> {
+        Ok(self.funcman.invoke(oid, method, args)?)
+    }
+
+    /// Create an object directly (non-SQL path used by loaders).
+    pub fn new_object(&self, class: &str, value: Value) -> Result<Oid> {
+        Ok(self.catalog.new_object(class, value)?)
+    }
+
+    /// Fetch an object (dynamic class name + value).
+    pub fn get_object(&self, oid: Oid) -> Result<(String, Value)> {
+        Ok(self.catalog.get_object(oid)?)
+    }
+
+    /// Recompute the Table 8/9 statistics by scanning.
+    pub fn collect_stats(&self) -> Result<DatabaseStats> {
+        Ok(self.catalog.collect_stats()?)
+    }
+
+    /// Flush dirty pages and truncate the log.
+    pub fn checkpoint(&self) -> Result<()> {
+        Ok(self.sm.checkpoint()?)
+    }
+
+    // ------------------------------------------------------------------
+    // MoodView passthroughs
+    // ------------------------------------------------------------------
+
+    /// ASCII class-hierarchy browser.
+    pub fn render_hierarchy(&self) -> String {
+        mood_view::render_hierarchy(&self.catalog)
+    }
+
+    /// Graphviz DOT of the class hierarchy.
+    pub fn render_hierarchy_dot(&self) -> String {
+        mood_view::render_hierarchy_dot(&self.catalog)
+    }
+
+    /// The Figure 9.2 class-presentation card.
+    pub fn render_class(&self, class: &str) -> Result<String> {
+        Ok(mood_view::render_class_card(&self.catalog, class)?)
+    }
+
+    /// Generic object presentation, following references to `depth`.
+    pub fn render_object(&self, oid: Oid, depth: usize) -> String {
+        mood_view::render_object(&self.catalog, oid, depth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_pipeline() {
+        let db = Mood::in_memory();
+        db.execute("CREATE CLASS Employee TUPLE (name String(32), age Integer)")
+            .unwrap();
+        db.execute("new Employee <'Asuman Dogac', 50>").unwrap();
+        db.execute("new Employee <'Cetin Ozkan', 30>").unwrap();
+        let mut cur = db
+            .query("SELECT e.name FROM Employee e WHERE e.age > 40")
+            .unwrap();
+        assert_eq!(cur.len(), 1);
+        assert_eq!(cur.next().unwrap()[0], Value::string("Asuman Dogac"));
+    }
+
+    #[test]
+    fn explain_and_trace() {
+        let db = Mood::in_memory();
+        db.execute("CREATE CLASS C TUPLE (x Integer)").unwrap();
+        db.execute("new C <1>").unwrap();
+        let plan = db.explain("SELECT c FROM C c WHERE c.x = 1").unwrap();
+        assert!(plan.contains("BIND(C, c)"), "{plan}");
+        db.execute("SELECT c FROM C c WHERE c.x = 1").unwrap();
+        assert!(db.last_trace().contains(&"FROM".to_string()));
+    }
+
+    #[test]
+    fn native_method_through_facade() {
+        let db = Mood::in_memory();
+        db.execute("CREATE CLASS Vehicle TUPLE (weight Integer)")
+            .unwrap();
+        db.register_native_method(
+            "Vehicle",
+            MethodSig::new("lbweight", TypeDescriptor::float(), vec![]),
+            Arc::new(|recv, _args, _res| {
+                let w = recv.field("weight").and_then(|v| v.as_f64()).unwrap_or(0.0);
+                Ok(Value::Float(w * 2.2075))
+            }),
+        )
+        .unwrap();
+        let Answer::Created(Value::Ref(oid)) = db.execute("new Vehicle <1000>").unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            db.invoke(oid, "lbweight", &[]).unwrap(),
+            Value::Float(2207.5)
+        );
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("mood-core-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = Mood::open(&dir).unwrap();
+            db.execute("CREATE CLASS Employee TUPLE (name String, age Integer)")
+                .unwrap();
+            db.execute("new Employee <'Tansel Okay', 40>").unwrap();
+            db.checkpoint().unwrap();
+        }
+        {
+            let db = Mood::open(&dir).unwrap();
+            let mut cur = db.query("SELECT e.name FROM Employee e").unwrap();
+            assert_eq!(cur.len(), 1);
+            assert_eq!(cur.next().unwrap()[0], Value::string("Tansel Okay"));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn moodview_passthroughs() {
+        let db = Mood::in_memory();
+        db.execute("CREATE CLASS Vehicle TUPLE (id Integer)")
+            .unwrap();
+        db.execute("CREATE CLASS Automobile INHERITS FROM Vehicle")
+            .unwrap();
+        assert!(db.render_hierarchy().contains("Vehicle --> Automobile"));
+        assert!(db.render_hierarchy_dot().contains("digraph"));
+        assert!(db
+            .render_class("Automobile")
+            .unwrap()
+            .contains("Superclasses: Vehicle"));
+        let Answer::Created(Value::Ref(oid)) = db.execute("new Vehicle <7>").unwrap() else {
+            panic!()
+        };
+        assert!(db.render_object(oid, 1).contains("id: 7"));
+    }
+
+    #[test]
+    fn metrics_accumulate_through_queries() {
+        let db = Mood::in_memory();
+        db.execute("CREATE CLASS C TUPLE (x Integer)").unwrap();
+        for i in 0..100 {
+            db.execute(&format!("new C <{i}>")).unwrap();
+        }
+        let before = db.metrics().snapshot();
+        db.execute("SELECT c FROM C c WHERE c.x > 50").unwrap();
+        let delta = db.metrics().snapshot().delta(&before);
+        assert!(
+            delta.buffer_hits + delta.buffer_misses > 0,
+            "scans touch pages"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Cost of basic file operations — Section 5 verbatim.
+//!
+//! All costs are in seconds under a [`PhysicalParams`] disk model:
+//!
+//! * `SEQCOST(b) = s + r + b·ebt`
+//! * `RNDCOST(b) = b·(s + r + btt)`
+//! * `INDCOST(k)` — expected page reads to fetch OIDs for `k` random keys
+//!   from a B+-tree, level by level through `c(n_i, m_i, r_i)`;
+//! * `RNGXCOST(fract) = fract · leaves(I) · (s + r + btt)`.
+
+use mood_storage::PhysicalParams;
+
+use crate::approx::c_approx;
+
+/// The Table 9 parameters of a B+-tree index the cost model consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexParams {
+    /// `v(I)` — order of the tree.
+    pub order: f64,
+    /// `level(I)` — number of levels.
+    pub levels: u32,
+    /// `leaves(I)` — number of leaf pages.
+    pub leaves: f64,
+    /// `keysize(I)` in bytes.
+    pub keysize: u32,
+    /// `unique(I)`.
+    pub unique: bool,
+}
+
+impl IndexParams {
+    /// Derive from measured storage-layer statistics.
+    pub fn from_stats(s: &mood_storage::BTreeStats) -> IndexParams {
+        IndexParams {
+            order: s.order as f64,
+            levels: s.levels,
+            leaves: s.leaves as f64,
+            keysize: s.keysize,
+            unique: s.unique,
+        }
+    }
+}
+
+/// `SEQCOST(b)` — sequential access to `b` pages.
+pub fn seqcost(p: &PhysicalParams, b: f64) -> f64 {
+    p.seq_cost(b)
+}
+
+/// `RNDCOST(b)` — random access to `b` pages.
+pub fn rndcost(p: &PhysicalParams, b: f64) -> f64 {
+    p.rnd_cost(b)
+}
+
+/// `INDCOST(k)` — cost of fetching the OIDs for `k` random keys through a
+/// secondary B+-tree index.
+///
+/// Per the paper: `Σ_{i=1}^{level} ⌈c(n_i, m_i, r_i)⌉ · RNDCOST(1)` with
+/// `n_i = leaves/(2v·ln2)^{i-2}`, `m_i = leaves/(2v·ln2)^{i-1}`,
+/// `r_1 = k`, `r_i = c(n_{i-1}, m_{i-1}, r_{i-1})`.
+pub fn indcost(p: &PhysicalParams, index: &IndexParams, k: f64) -> f64 {
+    if k <= 0.0 {
+        return 0.0;
+    }
+    let fan = 2.0 * index.order * std::f64::consts::LN_2;
+    let mut pages = 0.0f64;
+    let mut r = k;
+    for i in 1..=index.levels {
+        let n_i = index.leaves / fan.powi(i as i32 - 2);
+        let m_i = (index.leaves / fan.powi(i as i32 - 1)).max(1.0);
+        let touched = c_approx(n_i, m_i, r).max(1.0);
+        pages += touched.ceil();
+        r = touched;
+    }
+    pages * p.rnd_cost(1.0)
+}
+
+/// `RNGXCOST(fract)` — cost of a range query covering fraction `fract` of
+/// the key domain.
+pub fn rngxcost(p: &PhysicalParams, index: &IndexParams, fract: f64) -> f64 {
+    fract.clamp(0.0, 1.0) * index.leaves * p.rnd_cost(1.0)
+}
+
+/// `nbpg` — expected number of pages of a `pages`-page class touched when
+/// `k` of its objects are accessed: `nbpages·(1 − (1 − 1/nbpages)^k)`
+/// (the Cardenas form the paper uses inside `ftc` and `hhc`).
+pub fn pages_touched(pages: f64, k: f64) -> f64 {
+    if pages <= 0.0 || k <= 0.0 {
+        return 0.0;
+    }
+    pages * (1.0 - (1.0 - 1.0 / pages).powf(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> PhysicalParams {
+        PhysicalParams::salzberg_1988()
+    }
+
+    fn index() -> IndexParams {
+        IndexParams {
+            order: 100.0,
+            levels: 3,
+            leaves: 5_000.0,
+            keysize: 8,
+            unique: true,
+        }
+    }
+
+    #[test]
+    fn seq_vs_rnd_crossover() {
+        let p = disk();
+        // For one page they are equal (ebt == btt in this preset)...
+        assert!((seqcost(&p, 1.0) - rndcost(&p, 1.0)).abs() < 1e-12);
+        // ...for many pages sequential wins by roughly (s+r+btt)/ebt.
+        assert!(seqcost(&p, 10_000.0) < rndcost(&p, 10_000.0) / 5.0);
+    }
+
+    #[test]
+    fn indcost_single_key_reads_about_level_pages() {
+        let p = disk();
+        let ix = index();
+        let cost = indcost(&p, &ix, 1.0);
+        let per_page = p.rnd_cost(1.0);
+        let pages = cost / per_page;
+        assert!(
+            (pages - ix.levels as f64).abs() <= 1.0,
+            "one key descends ≈level pages, got {pages}"
+        );
+    }
+
+    #[test]
+    fn indcost_grows_sublinearly_then_saturates() {
+        let p = disk();
+        let ix = index();
+        let c1 = indcost(&p, &ix, 10.0);
+        let c2 = indcost(&p, &ix, 1_000.0);
+        let c3 = indcost(&p, &ix, 1_000_000.0);
+        let c4 = indcost(&p, &ix, 10_000_000.0);
+        assert!(c1 < c2 && c2 < c3);
+        // Beyond every leaf being touched, cost saturates.
+        assert!((c4 - c3) / c3 < 0.01, "saturated: {c3} vs {c4}");
+    }
+
+    #[test]
+    fn indcost_zero_keys_is_free() {
+        assert_eq!(indcost(&disk(), &index(), 0.0), 0.0);
+    }
+
+    #[test]
+    fn rngxcost_proportional_to_fraction() {
+        let p = disk();
+        let ix = index();
+        let half = rngxcost(&p, &ix, 0.5);
+        let full = rngxcost(&p, &ix, 1.0);
+        assert!((half * 2.0 - full).abs() < 1e-9);
+        // And clamps out-of-range fractions.
+        assert_eq!(rngxcost(&p, &ix, 1.5), full);
+        assert_eq!(rngxcost(&p, &ix, -0.1), 0.0);
+    }
+
+    #[test]
+    fn full_range_scan_costs_all_leaves() {
+        let p = disk();
+        let ix = index();
+        assert!((rngxcost(&p, &ix, 1.0) - ix.leaves * p.rnd_cost(1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pages_touched_limits() {
+        // One access touches one page.
+        assert!((pages_touched(100.0, 1.0) - 1.0).abs() < 0.01);
+        // Many accesses touch all pages.
+        assert!((pages_touched(100.0, 100_000.0) - 100.0).abs() < 1e-6);
+        // Monotone.
+        assert!(pages_touched(100.0, 10.0) < pages_touched(100.0, 50.0));
+        assert_eq!(pages_touched(0.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn paper_nbpg_for_vehicle() {
+        // nbpg_c = 2000·(1−(1−1/2000)^20000) ≈ 1999.9 (Section 6.1 with
+        // Table 13 numbers): effectively every Vehicle page.
+        let v = pages_touched(2_000.0, 20_000.0);
+        assert!(v > 1_999.0 && v < 2_000.0, "{v}");
+    }
+}

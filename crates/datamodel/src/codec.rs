@@ -1,0 +1,381 @@
+//! Binary (de)serialization of values and type descriptors.
+//!
+//! This is the stored representation of MOOD objects on ESM pages and of
+//! catalog records. The format is self-describing (tag per node), so the
+//! kernel's cursor mechanism can reconstruct name/type/value triplets for
+//! MoodView without consulting the schema first — exactly the buffer-area
+//! protocol Section 9.4 describes.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mood_storage::Oid;
+
+use crate::types::{BasicType, TypeDescriptor};
+use crate::value::Value;
+
+/// Codec errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Ran out of bytes mid-value.
+    Truncated,
+    /// Unknown tag byte.
+    BadTag(u8),
+    /// Invalid UTF-8 in a string.
+    BadUtf8,
+    /// A char payload that is not a Unicode scalar value.
+    BadChar(u32),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "value bytes truncated"),
+            CodecError::BadTag(t) => write!(f, "unknown value tag {t}"),
+            CodecError::BadUtf8 => write!(f, "invalid UTF-8 in stored string"),
+            CodecError::BadChar(c) => write!(f, "invalid char scalar {c}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+const T_INTEGER: u8 = 1;
+const T_FLOAT: u8 = 2;
+const T_LONG: u8 = 3;
+const T_STRING: u8 = 4;
+const T_CHAR: u8 = 5;
+const T_BOOL: u8 = 6;
+const T_TUPLE: u8 = 7;
+const T_SET: u8 = 8;
+const T_LIST: u8 = 9;
+const T_REF: u8 = 10;
+const T_NULL: u8 = 11;
+
+const D_BASIC: u8 = 20;
+const D_TUPLE: u8 = 21;
+const D_SET: u8 = 22;
+const D_LIST: u8 = 23;
+const D_REFERENCE: u8 = 24;
+
+/// Serialize a value to bytes.
+pub fn encode_value(v: &Value) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    write_value(&mut buf, v);
+    buf.to_vec()
+}
+
+fn write_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn write_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Integer(i) => {
+            buf.put_u8(T_INTEGER);
+            buf.put_i32_le(*i);
+        }
+        Value::Float(x) => {
+            buf.put_u8(T_FLOAT);
+            buf.put_f64_le(*x);
+        }
+        Value::LongInteger(i) => {
+            buf.put_u8(T_LONG);
+            buf.put_i64_le(*i);
+        }
+        Value::String(s) => {
+            buf.put_u8(T_STRING);
+            write_str(buf, s);
+        }
+        Value::Char(c) => {
+            buf.put_u8(T_CHAR);
+            buf.put_u32_le(*c as u32);
+        }
+        Value::Boolean(b) => {
+            buf.put_u8(T_BOOL);
+            buf.put_u8(*b as u8);
+        }
+        Value::Tuple(fields) => {
+            buf.put_u8(T_TUPLE);
+            buf.put_u32_le(fields.len() as u32);
+            for (n, fv) in fields {
+                write_str(buf, n);
+                write_value(buf, fv);
+            }
+        }
+        Value::Set(items) => {
+            buf.put_u8(T_SET);
+            buf.put_u32_le(items.len() as u32);
+            for it in items {
+                write_value(buf, it);
+            }
+        }
+        Value::List(items) => {
+            buf.put_u8(T_LIST);
+            buf.put_u32_le(items.len() as u32);
+            for it in items {
+                write_value(buf, it);
+            }
+        }
+        Value::Ref(oid) => {
+            buf.put_u8(T_REF);
+            buf.put_slice(&oid.to_bytes());
+        }
+        Value::Null => buf.put_u8(T_NULL),
+    }
+}
+
+/// Deserialize a value from bytes (must consume them exactly to round-trip;
+/// trailing bytes are tolerated for embedded use).
+pub fn decode_value(bytes: &[u8]) -> Result<Value, CodecError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    read_value(&mut buf)
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), CodecError> {
+    if buf.remaining() < n {
+        Err(CodecError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn read_str(buf: &mut Bytes) -> Result<String, CodecError> {
+    need(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    need(buf, len)?;
+    let raw = buf.split_to(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| CodecError::BadUtf8)
+}
+
+fn read_value(buf: &mut Bytes) -> Result<Value, CodecError> {
+    need(buf, 1)?;
+    let tag = buf.get_u8();
+    Ok(match tag {
+        T_INTEGER => {
+            need(buf, 4)?;
+            Value::Integer(buf.get_i32_le())
+        }
+        T_FLOAT => {
+            need(buf, 8)?;
+            Value::Float(buf.get_f64_le())
+        }
+        T_LONG => {
+            need(buf, 8)?;
+            Value::LongInteger(buf.get_i64_le())
+        }
+        T_STRING => Value::String(read_str(buf)?),
+        T_CHAR => {
+            need(buf, 4)?;
+            let c = buf.get_u32_le();
+            Value::Char(char::from_u32(c).ok_or(CodecError::BadChar(c))?)
+        }
+        T_BOOL => {
+            need(buf, 1)?;
+            Value::Boolean(buf.get_u8() != 0)
+        }
+        T_TUPLE => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            let mut fields = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let name = read_str(buf)?;
+                let v = read_value(buf)?;
+                fields.push((name, v));
+            }
+            Value::Tuple(fields)
+        }
+        T_SET | T_LIST => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            let mut items = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                items.push(read_value(buf)?);
+            }
+            if tag == T_SET {
+                Value::Set(items)
+            } else {
+                Value::List(items)
+            }
+        }
+        T_REF => {
+            need(buf, Oid::ENCODED_LEN)?;
+            let raw = buf.split_to(Oid::ENCODED_LEN);
+            Value::Ref(Oid::from_bytes(&raw).ok_or(CodecError::Truncated)?)
+        }
+        T_NULL => Value::Null,
+        t => return Err(CodecError::BadTag(t)),
+    })
+}
+
+/// Serialize a type descriptor.
+pub fn encode_type(t: &TypeDescriptor) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    write_type(&mut buf, t);
+    buf.to_vec()
+}
+
+fn write_type(buf: &mut BytesMut, t: &TypeDescriptor) {
+    match t {
+        TypeDescriptor::Basic(b) => {
+            buf.put_u8(D_BASIC);
+            buf.put_u8(*b as u8);
+        }
+        TypeDescriptor::Tuple(fields) => {
+            buf.put_u8(D_TUPLE);
+            buf.put_u32_le(fields.len() as u32);
+            for (n, ft) in fields {
+                write_str(buf, n);
+                write_type(buf, ft);
+            }
+        }
+        TypeDescriptor::Set(inner) => {
+            buf.put_u8(D_SET);
+            write_type(buf, inner);
+        }
+        TypeDescriptor::List(inner) => {
+            buf.put_u8(D_LIST);
+            write_type(buf, inner);
+        }
+        TypeDescriptor::Reference(c) => {
+            buf.put_u8(D_REFERENCE);
+            write_str(buf, c);
+        }
+    }
+}
+
+/// Deserialize a type descriptor.
+pub fn decode_type(bytes: &[u8]) -> Result<TypeDescriptor, CodecError> {
+    let mut buf = Bytes::copy_from_slice(bytes);
+    read_type(&mut buf)
+}
+
+fn read_type(buf: &mut Bytes) -> Result<TypeDescriptor, CodecError> {
+    need(buf, 1)?;
+    let tag = buf.get_u8();
+    Ok(match tag {
+        D_BASIC => {
+            need(buf, 1)?;
+            let b = buf.get_u8();
+            let basic = match b {
+                0 => BasicType::Integer,
+                1 => BasicType::Float,
+                2 => BasicType::LongInteger,
+                3 => BasicType::String,
+                4 => BasicType::Char,
+                5 => BasicType::Boolean,
+                other => return Err(CodecError::BadTag(other)),
+            };
+            TypeDescriptor::Basic(basic)
+        }
+        D_TUPLE => {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            let mut fields = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let name = read_str(buf)?;
+                fields.push((name, read_type(buf)?));
+            }
+            TypeDescriptor::Tuple(fields)
+        }
+        D_SET => TypeDescriptor::Set(Box::new(read_type(buf)?)),
+        D_LIST => TypeDescriptor::List(Box::new(read_type(buf)?)),
+        D_REFERENCE => TypeDescriptor::Reference(read_str(buf)?),
+        t => return Err(CodecError::BadTag(t)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mood_storage::{FileId, PageId, SlotId};
+
+    fn oid(n: u32) -> Oid {
+        Oid::new(FileId(2), PageId(n), SlotId(3), 7)
+    }
+
+    fn roundtrip(v: &Value) {
+        let bytes = encode_value(v);
+        let back = decode_value(&bytes).unwrap();
+        assert_eq!(&back, v, "roundtrip of {v}");
+    }
+
+    #[test]
+    fn atomic_values_roundtrip() {
+        roundtrip(&Value::Integer(-42));
+        roundtrip(&Value::Float(0.577_215_664));
+        roundtrip(&Value::LongInteger(i64::MIN));
+        roundtrip(&Value::String("Ankara Türkiye".into()));
+        roundtrip(&Value::Char('ç'));
+        roundtrip(&Value::Boolean(true));
+        roundtrip(&Value::Null);
+        roundtrip(&Value::Ref(oid(5)));
+    }
+
+    #[test]
+    fn nested_value_roundtrip() {
+        let v = Value::tuple(vec![
+            ("id", Value::Integer(1)),
+            (
+                "engines",
+                Value::Set(vec![Value::Ref(oid(1)), Value::Ref(oid(2))]),
+            ),
+            (
+                "history",
+                Value::List(vec![Value::tuple(vec![("year", Value::Integer(1994))])]),
+            ),
+            ("note", Value::Null),
+        ]);
+        roundtrip(&v);
+    }
+
+    #[test]
+    fn empty_collections_roundtrip() {
+        roundtrip(&Value::Set(vec![]));
+        roundtrip(&Value::List(vec![]));
+        roundtrip(&Value::Tuple(vec![]));
+    }
+
+    #[test]
+    fn truncated_bytes_error() {
+        let bytes = encode_value(&Value::String("hello".into()));
+        assert_eq!(decode_value(&bytes[..3]), Err(CodecError::Truncated));
+        assert_eq!(decode_value(&[]), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn bad_tag_error() {
+        assert_eq!(decode_value(&[200]), Err(CodecError::BadTag(200)));
+    }
+
+    #[test]
+    fn type_descriptors_roundtrip() {
+        let t = TypeDescriptor::tuple(vec![
+            ("name", TypeDescriptor::string()),
+            (
+                "engines",
+                TypeDescriptor::set_of(TypeDescriptor::reference("VehicleEngine")),
+            ),
+            ("scores", TypeDescriptor::list_of(TypeDescriptor::float())),
+            ("flag", TypeDescriptor::boolean()),
+        ]);
+        let bytes = encode_type(&t);
+        assert_eq!(decode_type(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn all_basic_types_roundtrip() {
+        for b in BasicType::ALL {
+            let t = TypeDescriptor::Basic(b);
+            assert_eq!(decode_type(&encode_type(&t)).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn float_nan_payload_survives() {
+        let bytes = encode_value(&Value::Float(f64::NAN));
+        match decode_value(&bytes).unwrap() {
+            Value::Float(x) => assert!(x.is_nan()),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Deep equality — the equality the paper's `DupElim` uses on extents
+//! (Table 3: "Extent of the distinct object according to the *deep equality
+//! check*").
+//!
+//! Deep equality dereferences `Ref` values through a [`Resolver`] and
+//! compares the referenced objects' *values*, recursively, with cycle
+//! detection (two objects on a reference cycle are deep-equal if their
+//! value graphs are bisimilar up to the visited set).
+
+use mood_storage::Oid;
+
+use crate::value::Value;
+
+/// Access to stored objects, provided by the extent/catalog layer.
+pub trait Resolver {
+    /// The value of the object `oid`, or `None` if it is dangling.
+    fn resolve(&self, oid: Oid) -> Option<Value>;
+}
+
+/// A resolver over an in-memory map (tests, small examples).
+impl Resolver for std::collections::HashMap<Oid, Value> {
+    fn resolve(&self, oid: Oid) -> Option<Value> {
+        self.get(&oid).cloned()
+    }
+}
+
+/// Deep (value) equality with dereferencing.
+pub fn deep_eq(a: &Value, b: &Value, resolver: &dyn Resolver) -> bool {
+    deep_eq_inner(a, b, resolver, &mut Vec::new())
+}
+
+fn deep_eq_inner(
+    a: &Value,
+    b: &Value,
+    resolver: &dyn Resolver,
+    visiting: &mut Vec<(Oid, Oid)>,
+) -> bool {
+    match (a, b) {
+        (Value::Ref(x), Value::Ref(y)) => {
+            if x == y {
+                return true;
+            }
+            // Already comparing this pair further up the graph: assume equal
+            // (coinductive step for cyclic structures).
+            if visiting.contains(&(*x, *y)) {
+                return true;
+            }
+            let (Some(va), Some(vb)) = (resolver.resolve(*x), resolver.resolve(*y)) else {
+                return false;
+            };
+            visiting.push((*x, *y));
+            let eq = deep_eq_inner(&va, &vb, resolver, visiting);
+            visiting.pop();
+            eq
+        }
+        (Value::Ref(x), other) | (other, Value::Ref(x)) => {
+            let Some(vx) = resolver.resolve(*x) else {
+                return false;
+            };
+            deep_eq_inner(&vx, other, resolver, visiting)
+        }
+        (Value::Tuple(fa), Value::Tuple(fb)) => {
+            fa.len() == fb.len()
+                && fa.iter().zip(fb).all(|((na, va), (nb, vb))| {
+                    na == nb && deep_eq_inner(va, vb, resolver, visiting)
+                })
+        }
+        (Value::Set(xs), Value::Set(ys)) => {
+            // Set deep-equality: mutual containment (quadratic; extents are
+            // deduplicated once per DupElim, and the algebra layer hashes
+            // shallow keys first).
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .all(|x| ys.iter().any(|y| deep_eq_inner(x, y, resolver, visiting)))
+                && ys
+                    .iter()
+                    .all(|y| xs.iter().any(|x| deep_eq_inner(x, y, resolver, visiting)))
+        }
+        (Value::List(xs), Value::List(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|(x, y)| deep_eq_inner(x, y, resolver, visiting))
+        }
+        (x, y) => x.equals(y),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mood_storage::{FileId, PageId, SlotId};
+    use std::collections::HashMap;
+
+    fn oid(n: u32) -> Oid {
+        Oid::new(FileId(1), PageId(n), SlotId(0), 1)
+    }
+
+    #[test]
+    fn atoms_use_value_equality() {
+        let store = HashMap::new();
+        assert!(deep_eq(&Value::Integer(2), &Value::Float(2.0), &store));
+        assert!(!deep_eq(&Value::Integer(2), &Value::Integer(3), &store));
+    }
+
+    #[test]
+    fn identical_refs_equal_without_resolution() {
+        let store = HashMap::new(); // even a dangling ref equals itself
+        assert!(deep_eq(&Value::Ref(oid(1)), &Value::Ref(oid(1)), &store));
+    }
+
+    #[test]
+    fn distinct_refs_to_equal_values_are_deep_equal() {
+        let mut store = HashMap::new();
+        store.insert(oid(1), Value::tuple(vec![("size", Value::Integer(2000))]));
+        store.insert(oid(2), Value::tuple(vec![("size", Value::Integer(2000))]));
+        assert!(deep_eq(&Value::Ref(oid(1)), &Value::Ref(oid(2)), &store));
+        store.insert(oid(3), Value::tuple(vec![("size", Value::Integer(999))]));
+        assert!(!deep_eq(&Value::Ref(oid(1)), &Value::Ref(oid(3)), &store));
+    }
+
+    #[test]
+    fn ref_compares_against_inline_value() {
+        let mut store = HashMap::new();
+        store.insert(oid(1), Value::Integer(5));
+        assert!(deep_eq(&Value::Ref(oid(1)), &Value::Integer(5), &store));
+        assert!(deep_eq(&Value::Integer(5), &Value::Ref(oid(1)), &store));
+    }
+
+    #[test]
+    fn dangling_refs_are_unequal() {
+        let store = HashMap::new();
+        assert!(!deep_eq(&Value::Ref(oid(1)), &Value::Ref(oid(2)), &store));
+    }
+
+    #[test]
+    fn nested_graph_equality() {
+        let mut store = HashMap::new();
+        // Two cars referencing structurally equal engines.
+        store.insert(oid(10), Value::tuple(vec![("cyl", Value::Integer(6))]));
+        store.insert(oid(11), Value::tuple(vec![("cyl", Value::Integer(6))]));
+        store.insert(
+            oid(1),
+            Value::tuple(vec![
+                ("id", Value::Integer(1)),
+                ("engine", Value::Ref(oid(10))),
+            ]),
+        );
+        store.insert(
+            oid(2),
+            Value::tuple(vec![
+                ("id", Value::Integer(1)),
+                ("engine", Value::Ref(oid(11))),
+            ]),
+        );
+        assert!(deep_eq(&Value::Ref(oid(1)), &Value::Ref(oid(2)), &store));
+    }
+
+    #[test]
+    fn cyclic_graphs_terminate_and_compare() {
+        let mut store = HashMap::new();
+        // a -> b -> a and c -> d -> c, all carrying the same payload.
+        store.insert(
+            oid(1),
+            Value::tuple(vec![("v", Value::Integer(1)), ("next", Value::Ref(oid(2)))]),
+        );
+        store.insert(
+            oid(2),
+            Value::tuple(vec![("v", Value::Integer(1)), ("next", Value::Ref(oid(1)))]),
+        );
+        store.insert(
+            oid(3),
+            Value::tuple(vec![("v", Value::Integer(1)), ("next", Value::Ref(oid(4)))]),
+        );
+        store.insert(
+            oid(4),
+            Value::tuple(vec![("v", Value::Integer(1)), ("next", Value::Ref(oid(3)))]),
+        );
+        assert!(deep_eq(&Value::Ref(oid(1)), &Value::Ref(oid(3)), &store));
+        // Different payload on the cycle → unequal.
+        store.insert(
+            oid(5),
+            Value::tuple(vec![("v", Value::Integer(9)), ("next", Value::Ref(oid(5)))]),
+        );
+        assert!(!deep_eq(&Value::Ref(oid(1)), &Value::Ref(oid(5)), &store));
+    }
+
+    #[test]
+    fn set_deep_equality_order_insensitive() {
+        let mut store = HashMap::new();
+        store.insert(oid(1), Value::Integer(1));
+        store.insert(oid(2), Value::Integer(2));
+        let a = Value::Set(vec![Value::Ref(oid(1)), Value::Integer(2)]);
+        let b = Value::Set(vec![Value::Integer(2), Value::Integer(1)]);
+        assert!(deep_eq(&a, &b, &store));
+    }
+}

@@ -1,0 +1,250 @@
+//! Type descriptors: the MOOD data model's types.
+//!
+//! "The basic types supported by the MOOD are Integer, Float, LongInteger,
+//! String, Char, and Boolean. The type constructors are Tuple, Set, List,
+//! and Reference. A complex type may be created by using basic types and
+//! recursive application of the type constructors." (Section 2)
+
+use std::fmt;
+
+/// The six basic types of Section 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BasicType {
+    /// 32-bit signed integer.
+    Integer,
+    /// 64-bit IEEE float (the paper's C++ heritage reads Float as `double`
+    /// in its `OperandDataType` example, which mixes INT16/INT32/DOUBLE).
+    Float,
+    /// 64-bit signed integer.
+    LongInteger,
+    /// Variable-length string (DDL may carry a length bound).
+    String,
+    /// A single character.
+    Char,
+    /// True/false.
+    Boolean,
+}
+
+impl BasicType {
+    pub const ALL: [BasicType; 6] = [
+        BasicType::Integer,
+        BasicType::Float,
+        BasicType::LongInteger,
+        BasicType::String,
+        BasicType::Char,
+        BasicType::Boolean,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            BasicType::Integer => "Integer",
+            BasicType::Float => "Float",
+            BasicType::LongInteger => "LongInteger",
+            BasicType::String => "String",
+            BasicType::Char => "Char",
+            BasicType::Boolean => "Boolean",
+        }
+    }
+
+    pub fn parse(name: &str) -> Option<BasicType> {
+        Self::ALL
+            .iter()
+            .copied()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Is this a numeric type (participates in arithmetic coercion)?
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            BasicType::Integer | BasicType::Float | BasicType::LongInteger
+        )
+    }
+}
+
+impl fmt::Display for BasicType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A (possibly complex) type: basic types closed under the four
+/// constructors.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TypeDescriptor {
+    Basic(BasicType),
+    /// Named fields; order is significant (it is the storage order).
+    Tuple(Vec<(String, TypeDescriptor)>),
+    Set(Box<TypeDescriptor>),
+    List(Box<TypeDescriptor>),
+    /// Reference to instances of the named class.
+    Reference(String),
+}
+
+impl TypeDescriptor {
+    pub fn integer() -> Self {
+        TypeDescriptor::Basic(BasicType::Integer)
+    }
+    pub fn float() -> Self {
+        TypeDescriptor::Basic(BasicType::Float)
+    }
+    pub fn long_integer() -> Self {
+        TypeDescriptor::Basic(BasicType::LongInteger)
+    }
+    pub fn string() -> Self {
+        TypeDescriptor::Basic(BasicType::String)
+    }
+    pub fn char() -> Self {
+        TypeDescriptor::Basic(BasicType::Char)
+    }
+    pub fn boolean() -> Self {
+        TypeDescriptor::Basic(BasicType::Boolean)
+    }
+    pub fn reference(class: impl Into<String>) -> Self {
+        TypeDescriptor::Reference(class.into())
+    }
+    pub fn set_of(inner: TypeDescriptor) -> Self {
+        TypeDescriptor::Set(Box::new(inner))
+    }
+    pub fn list_of(inner: TypeDescriptor) -> Self {
+        TypeDescriptor::List(Box::new(inner))
+    }
+    pub fn tuple(fields: Vec<(&str, TypeDescriptor)>) -> Self {
+        TypeDescriptor::Tuple(
+            fields
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
+        )
+    }
+
+    /// Is this an atomic (basic) type? Path expressions must *end* in one.
+    pub fn is_atomic(&self) -> bool {
+        matches!(self, TypeDescriptor::Basic(_))
+    }
+
+    /// The field type of a tuple attribute, if this is a tuple with it.
+    pub fn field(&self, name: &str) -> Option<&TypeDescriptor> {
+        match self {
+            TypeDescriptor::Tuple(fields) => fields.iter().find(|(n, _)| n == name).map(|(_, t)| t),
+            _ => None,
+        }
+    }
+
+    /// Referenced class name if this is (a set/list of) references — the
+    /// types a path expression may traverse through.
+    pub fn referenced_class(&self) -> Option<&str> {
+        match self {
+            TypeDescriptor::Reference(c) => Some(c),
+            TypeDescriptor::Set(inner) | TypeDescriptor::List(inner) => inner.referenced_class(),
+            _ => None,
+        }
+    }
+
+    /// Nesting depth of constructors (diagnostics, display budgets).
+    pub fn depth(&self) -> usize {
+        match self {
+            TypeDescriptor::Basic(_) | TypeDescriptor::Reference(_) => 1,
+            TypeDescriptor::Set(t) | TypeDescriptor::List(t) => 1 + t.depth(),
+            TypeDescriptor::Tuple(fields) => {
+                1 + fields.iter().map(|(_, t)| t.depth()).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+impl fmt::Display for TypeDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeDescriptor::Basic(b) => write!(f, "{b}"),
+            TypeDescriptor::Tuple(fields) => {
+                write!(f, "TUPLE (")?;
+                for (i, (n, t)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n} {t}")?;
+                }
+                write!(f, ")")
+            }
+            TypeDescriptor::Set(t) => write!(f, "SET ({t})"),
+            TypeDescriptor::List(t) => write!(f, "LIST ({t})"),
+            TypeDescriptor::Reference(c) => write!(f, "REFERENCE ({c})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_type_parse_roundtrip() {
+        for b in BasicType::ALL {
+            assert_eq!(BasicType::parse(b.name()), Some(b));
+        }
+        assert_eq!(BasicType::parse("integer"), Some(BasicType::Integer));
+        assert_eq!(BasicType::parse("Decimal"), None);
+    }
+
+    #[test]
+    fn numeric_classification() {
+        assert!(BasicType::Integer.is_numeric());
+        assert!(BasicType::Float.is_numeric());
+        assert!(BasicType::LongInteger.is_numeric());
+        assert!(!BasicType::String.is_numeric());
+        assert!(!BasicType::Char.is_numeric());
+        assert!(!BasicType::Boolean.is_numeric());
+    }
+
+    #[test]
+    fn vehicle_tuple_from_the_paper() {
+        // CREATE CLASS Vehicle TUPLE (id Integer, weight Integer,
+        //   drivetrain REFERENCE (VehicleDriveTrain),
+        //   manufacturer REFERENCE (Company))
+        let t = TypeDescriptor::tuple(vec![
+            ("id", TypeDescriptor::integer()),
+            ("weight", TypeDescriptor::integer()),
+            ("drivetrain", TypeDescriptor::reference("VehicleDriveTrain")),
+            ("manufacturer", TypeDescriptor::reference("Company")),
+        ]);
+        assert_eq!(t.field("weight"), Some(&TypeDescriptor::integer()));
+        assert_eq!(
+            t.field("drivetrain").unwrap().referenced_class(),
+            Some("VehicleDriveTrain")
+        );
+        assert_eq!(t.field("missing"), None);
+        assert!(!t.is_atomic());
+    }
+
+    #[test]
+    fn set_of_references_traversable() {
+        let t = TypeDescriptor::set_of(TypeDescriptor::reference("Employee"));
+        assert_eq!(t.referenced_class(), Some("Employee"));
+        let t2 = TypeDescriptor::list_of(TypeDescriptor::reference("Employee"));
+        assert_eq!(t2.referenced_class(), Some("Employee"));
+        assert_eq!(TypeDescriptor::string().referenced_class(), None);
+    }
+
+    #[test]
+    fn display_matches_ddl_style() {
+        let t = TypeDescriptor::tuple(vec![
+            ("name", TypeDescriptor::string()),
+            (
+                "engines",
+                TypeDescriptor::set_of(TypeDescriptor::reference("VehicleEngine")),
+            ),
+        ]);
+        assert_eq!(
+            t.to_string(),
+            "TUPLE (name String, engines SET (REFERENCE (VehicleEngine)))"
+        );
+    }
+
+    #[test]
+    fn depth_counts_nesting() {
+        let t = TypeDescriptor::set_of(TypeDescriptor::list_of(TypeDescriptor::integer()));
+        assert_eq!(t.depth(), 3);
+        assert_eq!(TypeDescriptor::boolean().depth(), 1);
+    }
+}

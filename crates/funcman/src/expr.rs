@@ -1,0 +1,696 @@
+//! The method-body language: a C++-flavored expression interpreter.
+//!
+//! MOOD method bodies are C++ source, pre-processed and compiled once when
+//! the function is added (Section 2). Shipping a C++ compiler is out of
+//! scope for the reproduction, so run-time-defined bodies are expressions in
+//! a C++-expression-shaped language:
+//!
+//! ```text
+//! int Vehicle::lbweight() { return weight * 2.2075; }
+//!                                  ^^^^^^^^^^^^^^^^ this part
+//! ```
+//!
+//! "Compilation" is parsing to an AST at definition time — errors surface
+//! when the function is *added*, not when it is called, exactly like the
+//! paper's compile step. Evaluation is run-time type checked through
+//! [`crate::operand::OperandDataType`]. Identifier resolution: parameters shadow attributes;
+//! `self.a`, bare `a` and dotted paths `a.b.c` (dereferencing through the
+//! resolver) all work.
+
+use mood_datamodel::{Resolver, Value};
+
+use crate::exception::{Exception, ExceptionKind};
+use crate::operand::OperandDataType as Op;
+
+/// Parsed expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    /// `a.b.c` — first segment may be `self`, a parameter or an attribute.
+    Path(Vec<String>),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `name(args...)` — a call to another method on `self`.
+    Call(String, Vec<Expr>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl BinOp {
+    fn cmp_symbol(&self) -> Option<&'static str> {
+        Some(match self {
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            _ => return None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Ident(String),
+    Sym(&'static str),
+}
+
+fn lex(src: &str) -> Result<Vec<Tok>, Exception> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let err = |m: String| Exception::new(ExceptionKind::CompileError, m);
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_ascii_digit()
+            || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+        {
+            let start = i;
+            let mut seen_dot = false;
+            while i < chars.len() && (chars[i].is_ascii_digit() || (chars[i] == '.' && !seen_dot)) {
+                // A dot is part of the number only if a digit follows
+                // (otherwise it is a path separator after an index-like
+                // identifier — cannot happen after digits, but be strict).
+                if chars[i] == '.' {
+                    if !chars.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                        break;
+                    }
+                    seen_dot = true;
+                }
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if seen_dot {
+                toks.push(Tok::Float(
+                    text.parse()
+                        .map_err(|e| err(format!("bad float {text}: {e}")))?,
+                ));
+            } else {
+                toks.push(Tok::Int(
+                    text.parse()
+                        .map_err(|e| err(format!("bad int {text}: {e}")))?,
+                ));
+            }
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok::Ident(chars[start..i].iter().collect()));
+        } else if c == '"' || c == '\'' {
+            let quote = c;
+            i += 1;
+            let start = i;
+            while i < chars.len() && chars[i] != quote {
+                i += 1;
+            }
+            if i == chars.len() {
+                return Err(err("unterminated string literal".into()));
+            }
+            toks.push(Tok::Str(chars[start..i].iter().collect()));
+            i += 1;
+        } else {
+            let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+            let sym = match two.as_str() {
+                "==" | "!=" | "<=" | ">=" | "&&" | "||" => {
+                    i += 2;
+                    match two.as_str() {
+                        "==" => "==",
+                        "!=" => "!=",
+                        "<=" => "<=",
+                        ">=" => ">=",
+                        "&&" => "&&",
+                        _ => "||",
+                    }
+                }
+                _ => {
+                    i += 1;
+                    match c {
+                        '+' => "+",
+                        '-' => "-",
+                        '*' => "*",
+                        '/' => "/",
+                        '%' => "%",
+                        '(' => "(",
+                        ')' => ")",
+                        ',' => ",",
+                        '.' => ".",
+                        ';' => ";",
+                        '<' => "<",
+                        '>' => ">",
+                        '=' => "=",
+                        '!' => "!",
+                        '{' => "{",
+                        '}' => "}",
+                        other => return Err(err(format!("unexpected character '{other}'"))),
+                    }
+                }
+            };
+            toks.push(Tok::Sym(sym));
+        }
+    }
+    Ok(toks)
+}
+
+// ---------------------------------------------------------------------
+// Parser (recursive descent, precedence climbing)
+// ---------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn err(&self, msg: impl Into<String>) -> Exception {
+        Exception::new(ExceptionKind::CompileError, msg.into())
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(x)) if *x == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), Exception> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{s}' at token {}", self.pos)))
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, Exception> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_sym("||") {
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, Exception> {
+        let mut lhs = self.parse_cmp()?;
+        while self.eat_sym("&&") {
+            let rhs = self.parse_cmp()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, Exception> {
+        let lhs = self.parse_addsub()?;
+        let op = match self.peek() {
+            Some(Tok::Sym("==")) | Some(Tok::Sym("=")) => BinOp::Eq,
+            Some(Tok::Sym("!=")) => BinOp::Ne,
+            Some(Tok::Sym("<")) => BinOp::Lt,
+            Some(Tok::Sym("<=")) => BinOp::Le,
+            Some(Tok::Sym(">")) => BinOp::Gt,
+            Some(Tok::Sym(">=")) => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.parse_addsub()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn parse_addsub(&mut self) -> Result<Expr, Exception> {
+        let mut lhs = self.parse_muldiv()?;
+        loop {
+            let op = if self.eat_sym("+") {
+                BinOp::Add
+            } else if self.eat_sym("-") {
+                BinOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_muldiv()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_muldiv(&mut self) -> Result<Expr, Exception> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = if self.eat_sym("*") {
+                BinOp::Mul
+            } else if self.eat_sym("/") {
+                BinOp::Div
+            } else if self.eat_sym("%") {
+                BinOp::Rem
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, Exception> {
+        if self.eat_sym("-") {
+            Ok(Expr::Unary(UnOp::Neg, Box::new(self.parse_unary()?)))
+        } else if self.eat_sym("!") {
+            Ok(Expr::Unary(UnOp::Not, Box::new(self.parse_unary()?)))
+        } else {
+            self.parse_primary()
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, Exception> {
+        match self.peek().cloned() {
+            Some(Tok::Int(i)) => {
+                self.pos += 1;
+                Ok(Expr::Int(i))
+            }
+            Some(Tok::Float(f)) => {
+                self.pos += 1;
+                Ok(Expr::Float(f))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Str(s))
+            }
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                match name.as_str() {
+                    "true" => return Ok(Expr::Bool(true)),
+                    "false" => return Ok(Expr::Bool(false)),
+                    _ => {}
+                }
+                if self.eat_sym("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_sym(")") {
+                        loop {
+                            args.push(self.parse_or()?);
+                            if self.eat_sym(")") {
+                                break;
+                            }
+                            self.expect_sym(",")?;
+                        }
+                    }
+                    return Ok(Expr::Call(name, args));
+                }
+                let mut path = vec![name];
+                while self.eat_sym(".") {
+                    match self.peek().cloned() {
+                        Some(Tok::Ident(seg)) => {
+                            self.pos += 1;
+                            path.push(seg);
+                        }
+                        _ => return Err(self.err("expected identifier after '.'")),
+                    }
+                }
+                Ok(Expr::Path(path))
+            }
+            Some(Tok::Sym("(")) => {
+                self.pos += 1;
+                let e = self.parse_or()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+/// "Compile" a method body. Accepts either a bare expression or the
+/// C++-style `{ return <expr>; }` / `return <expr>;` form.
+pub fn compile(source: &str) -> Result<Expr, Exception> {
+    let mut toks = lex(source)?;
+    // Strip an optional surrounding { ... }.
+    if toks.first() == Some(&Tok::Sym("{")) && toks.last() == Some(&Tok::Sym("}")) {
+        toks.remove(0);
+        toks.pop();
+    }
+    // Strip a leading `return` and a trailing `;`.
+    if matches!(toks.first(), Some(Tok::Ident(k)) if k == "return") {
+        toks.remove(0);
+    }
+    if toks.last() == Some(&Tok::Sym(";")) {
+        toks.pop();
+    }
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.parse_or()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err(format!("trailing tokens after expression (at {})", p.pos)));
+    }
+    Ok(e)
+}
+
+/// Dispatcher for `Call` nodes: invoke `method` with `args` on the current
+/// self object. The Function Manager supplies this, closing the loop for
+/// methods that call other methods.
+pub type Dispatcher<'a> = &'a dyn Fn(&str, &[Value]) -> Result<Value, Exception>;
+
+/// Evaluation context for one invocation.
+pub struct EvalCtx<'a> {
+    /// The receiver object's value.
+    pub self_value: &'a Value,
+    /// Named arguments in signature order.
+    pub args: &'a [(String, Value)],
+    /// Dereferencing for path traversal (None: paths through Refs fail).
+    pub resolver: Option<&'a dyn Resolver>,
+    /// Method-call dispatcher (None: `Call` nodes fail).
+    pub dispatcher: Option<Dispatcher<'a>>,
+}
+
+impl<'a> EvalCtx<'a> {
+    fn lookup_root(&self, name: &str) -> Option<Value> {
+        if name == "self" {
+            return Some(self.self_value.clone());
+        }
+        if let Some((_, v)) = self.args.iter().find(|(n, _)| n == name) {
+            return Some(v.clone());
+        }
+        self.self_value.field(name).cloned()
+    }
+
+    fn step(&self, base: &Value, seg: &str) -> Result<Value, Exception> {
+        let mut cur = base.clone();
+        // Dereference as many times as needed to reach a tuple.
+        loop {
+            match cur {
+                Value::Ref(oid) => {
+                    let resolver = self.resolver.ok_or_else(|| {
+                        Exception::type_error("path traverses a reference but no resolver given")
+                    })?;
+                    cur = resolver.resolve(oid).ok_or_else(|| {
+                        Exception::new(ExceptionKind::System, format!("dangling reference {oid}"))
+                    })?;
+                }
+                Value::Tuple(_) => {
+                    return cur.field(seg).cloned().ok_or_else(|| {
+                        Exception::new(
+                            ExceptionKind::UnknownIdentifier,
+                            format!("no attribute {seg}"),
+                        )
+                    })
+                }
+                Value::Null => return Ok(Value::Null),
+                other => {
+                    return Err(Exception::type_error(format!(
+                        "cannot navigate into {other} with .{seg}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// Evaluate a compiled body.
+pub fn eval(expr: &Expr, ctx: &EvalCtx<'_>) -> Result<Value, Exception> {
+    Ok(match expr {
+        Expr::Int(i) => {
+            if let Ok(v) = i32::try_from(*i) {
+                Value::Integer(v)
+            } else {
+                Value::LongInteger(*i)
+            }
+        }
+        Expr::Float(f) => Value::Float(*f),
+        Expr::Str(s) => Value::String(s.clone()),
+        Expr::Bool(b) => Value::Boolean(*b),
+        Expr::Path(path) => {
+            let mut cur = ctx.lookup_root(&path[0]).ok_or_else(|| {
+                Exception::new(
+                    ExceptionKind::UnknownIdentifier,
+                    format!("unknown identifier {}", path[0]),
+                )
+            })?;
+            for seg in &path[1..] {
+                cur = ctx.step(&cur, seg)?;
+            }
+            // A terminal Ref is fine (reference-valued result).
+            cur
+        }
+        Expr::Unary(op, inner) => {
+            let v = Op::from_value(&eval(inner, ctx)?)?;
+            match op {
+                UnOp::Neg => v.neg()?.into_value(),
+                UnOp::Not => v.not()?.into_value(),
+            }
+        }
+        Expr::Binary(op, lhs, rhs) => {
+            // Short-circuit AND/OR before evaluating the right side — the
+            // optimizer's predicate-ordering heuristic depends on this.
+            if *op == BinOp::And {
+                let l = Op::from_value(&eval(lhs, ctx)?)?;
+                if l == Op::Bool(false) {
+                    return Ok(Value::Boolean(false));
+                }
+                let r = Op::from_value(&eval(rhs, ctx)?)?;
+                return Ok(l.and(&r)?.into_value());
+            }
+            if *op == BinOp::Or {
+                let l = Op::from_value(&eval(lhs, ctx)?)?;
+                if l == Op::Bool(true) {
+                    return Ok(Value::Boolean(true));
+                }
+                let r = Op::from_value(&eval(rhs, ctx)?)?;
+                return Ok(l.or(&r)?.into_value());
+            }
+            let l = Op::from_value(&eval(lhs, ctx)?)?;
+            let r = Op::from_value(&eval(rhs, ctx)?)?;
+            let out = match op {
+                BinOp::Add => l.add(&r)?,
+                BinOp::Sub => l.sub(&r)?,
+                BinOp::Mul => l.mul(&r)?,
+                BinOp::Div => l.div(&r)?,
+                BinOp::Rem => l.rem(&r)?,
+                other => l.cmp_op(other.cmp_symbol().expect("comparison"), &r)?,
+            };
+            out.into_value()
+        }
+        Expr::Call(name, args) => {
+            let dispatcher = ctx.dispatcher.ok_or_else(|| {
+                Exception::new(
+                    ExceptionKind::MissingFunction,
+                    format!("method call {name}() outside a dispatching context"),
+                )
+            })?;
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, ctx)?);
+            }
+            dispatcher(name, &vals)?
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_with<'a>(self_value: &'a Value, args: &'a [(String, Value)]) -> EvalCtx<'a> {
+        EvalCtx {
+            self_value,
+            args,
+            resolver: None,
+            dispatcher: None,
+        }
+    }
+
+    #[test]
+    fn lbweight_body_from_the_paper() {
+        // int Vehicle::lbweight() { return weight*2.2075; }
+        let body = compile("{ return weight * 2.2075; }").unwrap();
+        let vehicle = Value::tuple(vec![("weight", Value::Integer(1000))]);
+        let out = eval(&body, &ctx_with(&vehicle, &[])).unwrap();
+        assert_eq!(out, Value::Float(2207.5));
+    }
+
+    #[test]
+    fn bare_expression_and_return_forms() {
+        for src in ["weight + 1", "return weight + 1;", "{ return weight + 1; }"] {
+            let body = compile(src).unwrap();
+            let v = Value::tuple(vec![("weight", Value::Integer(9))]);
+            assert_eq!(eval(&body, &ctx_with(&v, &[])).unwrap(), Value::Integer(10));
+        }
+    }
+
+    #[test]
+    fn parameters_shadow_attributes() {
+        let body = compile("weight * factor").unwrap();
+        let v = Value::tuple(vec![
+            ("weight", Value::Integer(10)),
+            ("factor", Value::Integer(99)),
+        ]);
+        let args = vec![("factor".to_string(), Value::Integer(2))];
+        assert_eq!(
+            eval(&body, &ctx_with(&v, &args)).unwrap(),
+            Value::Integer(20)
+        );
+    }
+
+    #[test]
+    fn precedence_matches_c() {
+        let body = compile("2 + 3 * 4 - 6 / 2").unwrap();
+        let v = Value::Tuple(vec![]);
+        assert_eq!(eval(&body, &ctx_with(&v, &[])).unwrap(), Value::Integer(11));
+        let body = compile("(2 + 3) * 4").unwrap();
+        assert_eq!(eval(&body, &ctx_with(&v, &[])).unwrap(), Value::Integer(20));
+    }
+
+    #[test]
+    fn booleans_and_comparisons() {
+        let body = compile("weight > 500 && weight <= 1500 || false").unwrap();
+        let v = Value::tuple(vec![("weight", Value::Integer(1000))]);
+        assert_eq!(
+            eval(&body, &ctx_with(&v, &[])).unwrap(),
+            Value::Boolean(true)
+        );
+        let body = compile("!(weight == 1000)").unwrap();
+        assert_eq!(
+            eval(&body, &ctx_with(&v, &[])).unwrap(),
+            Value::Boolean(false)
+        );
+    }
+
+    #[test]
+    fn short_circuit_avoids_rhs_errors() {
+        // RHS would divide by zero; short-circuit must skip it.
+        let body = compile("false && (1/0 == 1)").unwrap();
+        let v = Value::Tuple(vec![]);
+        assert_eq!(
+            eval(&body, &ctx_with(&v, &[])).unwrap(),
+            Value::Boolean(false)
+        );
+        let body = compile("true || (1/0 == 1)").unwrap();
+        assert_eq!(
+            eval(&body, &ctx_with(&v, &[])).unwrap(),
+            Value::Boolean(true)
+        );
+    }
+
+    #[test]
+    fn path_traversal_through_refs() {
+        use mood_storage::{FileId, Oid, PageId, SlotId};
+        use std::collections::HashMap;
+        let engine_oid = Oid::new(FileId(1), PageId(0), SlotId(0), 1);
+        let mut store = HashMap::new();
+        store.insert(
+            engine_oid,
+            Value::tuple(vec![("cylinders", Value::Integer(6))]),
+        );
+        let car = Value::tuple(vec![("engine", Value::Ref(engine_oid))]);
+        let body = compile("self.engine.cylinders * 2").unwrap();
+        let ctx = EvalCtx {
+            self_value: &car,
+            args: &[],
+            resolver: Some(&store),
+            dispatcher: None,
+        };
+        assert_eq!(eval(&body, &ctx).unwrap(), Value::Integer(12));
+    }
+
+    #[test]
+    fn null_path_yields_null() {
+        let car = Value::tuple(vec![("engine", Value::Null)]);
+        let body = compile("engine.cylinders").unwrap();
+        let ctx = ctx_with(&car, &[]);
+        assert_eq!(eval(&body, &ctx).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn unknown_identifier_is_an_exception() {
+        let body = compile("nonexistent + 1").unwrap();
+        let v = Value::Tuple(vec![]);
+        let e = eval(&body, &ctx_with(&v, &[])).unwrap_err();
+        assert_eq!(e.kind, ExceptionKind::UnknownIdentifier);
+    }
+
+    #[test]
+    fn compile_errors_surface_at_definition_time() {
+        assert!(compile("1 +").is_err());
+        assert!(compile("(1 + 2").is_err());
+        assert!(compile("1 2").is_err());
+        assert!(compile("\"unterminated").is_err());
+        assert!(compile("@").is_err());
+    }
+
+    #[test]
+    fn string_literals_and_equality() {
+        let body = compile("name == \"BMW\"").unwrap();
+        let v = Value::tuple(vec![("name", Value::string("BMW"))]);
+        assert_eq!(
+            eval(&body, &ctx_with(&v, &[])).unwrap(),
+            Value::Boolean(true)
+        );
+        let body = compile("name == 'Audi'").unwrap();
+        assert_eq!(
+            eval(&body, &ctx_with(&v, &[])).unwrap(),
+            Value::Boolean(false)
+        );
+    }
+
+    #[test]
+    fn method_calls_go_through_dispatcher() {
+        let body = compile("lbweight() + 1").unwrap();
+        let v = Value::tuple(vec![("weight", Value::Integer(100))]);
+        let dispatch = |name: &str, _args: &[Value]| -> Result<Value, Exception> {
+            assert_eq!(name, "lbweight");
+            Ok(Value::Integer(220))
+        };
+        let ctx = EvalCtx {
+            self_value: &v,
+            args: &[],
+            resolver: None,
+            dispatcher: Some(&dispatch),
+        };
+        assert_eq!(eval(&body, &ctx).unwrap(), Value::Integer(221));
+        // Without a dispatcher it raises.
+        let e = eval(&body, &ctx_with(&v, &[])).unwrap_err();
+        assert_eq!(e.kind, ExceptionKind::MissingFunction);
+    }
+
+    #[test]
+    fn big_int_literals_become_long() {
+        let body = compile("5000000000").unwrap();
+        let v = Value::Tuple(vec![]);
+        assert_eq!(
+            eval(&body, &ctx_with(&v, &[])).unwrap(),
+            Value::LongInteger(5_000_000_000)
+        );
+    }
+}

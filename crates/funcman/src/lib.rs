@@ -1,0 +1,25 @@
+//! # mood-funcman — the MOOD Function Manager
+//!
+//! Reproduces Section 2's division of labor between "an object-oriented SQL
+//! interpreter and a C++ compiler": method bodies are compiled once when
+//! added (never interpreted per call), loaded lazily per scope, locked
+//! during redefinition, and their failures — including crashes — surface
+//! through the kernel's `Exception` class.
+//!
+//! * [`operand`] — `OperandDataType`: run-time typed arithmetic/Boolean
+//!   evaluation with type checking and coercion;
+//! * [`exception`] — the `Exception` class and panic capture;
+//! * [`expr`] — the method-body expression language ("compilation" =
+//!   parse-at-definition);
+//! * [`manager`] — signatures, shared objects, dynamic linking, invocation
+//!   with late binding.
+
+pub mod exception;
+pub mod expr;
+pub mod manager;
+pub mod operand;
+
+pub use exception::{catch, Exception, ExceptionKind};
+pub use expr::{compile, eval, EvalCtx, Expr};
+pub use manager::{FunctionManager, MethodBody, NativeFn};
+pub use operand::{NumKind, OperandDataType};

@@ -1,0 +1,420 @@
+//! `OperandDataType` — run-time typed operands for the SQL interpreter.
+//!
+//! Section 2: "For interpretation of arithmetic and Boolean expressions,
+//! the types of operands are necessary at run time. This information is
+//! provided by the class OperandDataType. [...] The code for the
+//! interpretation of arithmetic and Boolean expressions mainly overloads
+//! addition, subtraction, multiplication, division and mode operation
+//! operators in the order (+, -, *, /, %) for arithmetic expressions. It
+//! evaluates AND, OR, NOT, and comparison operators for Boolean
+//! expressions. Type checking and conversion of results are performed at
+//! run-time."
+//!
+//! The paper's own example mixes INT16, INT32 and DOUBLE, so the numeric
+//! tower here is I16 < I32 < I64 < F64; the result type of a binary
+//! operation is the wider operand's type, and assignment casts (as in the
+//! paper's `z = (x*3 + x%3) * (y/4*5)` example) are explicit via
+//! [`OperandDataType::cast`].
+
+use std::cmp::Ordering;
+
+use mood_datamodel::Value;
+
+use crate::exception::{Exception, ExceptionKind};
+
+/// Run-time numeric type tags, ordered by width for promotion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NumKind {
+    Int16,
+    Int32,
+    Int64,
+    Double,
+}
+
+/// A dynamically typed operand.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OperandDataType {
+    I16(i16),
+    I32(i32),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+    Char(char),
+    Null,
+}
+
+use OperandDataType as Op;
+
+impl OperandDataType {
+    /// Wrap a data-model value.
+    pub fn from_value(v: &Value) -> Result<Op, Exception> {
+        Ok(match v {
+            Value::Integer(i) => Op::I32(*i),
+            Value::LongInteger(i) => Op::I64(*i),
+            Value::Float(f) => Op::F64(*f),
+            Value::Boolean(b) => Op::Bool(*b),
+            Value::String(s) => Op::Str(s.clone()),
+            Value::Char(c) => Op::Char(*c),
+            Value::Null => Op::Null,
+            other => {
+                return Err(Exception::type_error(format!(
+                    "operand must be atomic, got {other}"
+                )))
+            }
+        })
+    }
+
+    /// Back to a data-model value.
+    pub fn into_value(self) -> Value {
+        match self {
+            Op::I16(i) => Value::Integer(i as i32),
+            Op::I32(i) => Value::Integer(i),
+            Op::I64(i) => Value::LongInteger(i),
+            Op::F64(f) => Value::Float(f),
+            Op::Bool(b) => Value::Boolean(b),
+            Op::Str(s) => Value::String(s),
+            Op::Char(c) => Value::Char(c),
+            Op::Null => Value::Null,
+        }
+    }
+
+    fn num_kind(&self) -> Option<NumKind> {
+        match self {
+            Op::I16(_) => Some(NumKind::Int16),
+            Op::I32(_) => Some(NumKind::Int32),
+            Op::I64(_) => Some(NumKind::Int64),
+            Op::F64(_) => Some(NumKind::Double),
+            _ => None,
+        }
+    }
+
+    fn as_i64(&self) -> Option<i64> {
+        match self {
+            Op::I16(i) => Some(*i as i64),
+            Op::I32(i) => Some(*i as i64),
+            Op::I64(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Op::I16(i) => Some(*i as f64),
+            Op::I32(i) => Some(*i as f64),
+            Op::I64(i) => Some(*i as f64),
+            Op::F64(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    fn promote(a: &Op, b: &Op, op: &str) -> Result<NumKind, Exception> {
+        match (a.num_kind(), b.num_kind()) {
+            (Some(x), Some(y)) => Ok(x.max(y)),
+            _ => Err(Exception::type_error(format!(
+                "operator {op} needs numeric operands, got {a:?} and {b:?}"
+            ))),
+        }
+    }
+
+    fn from_i64(kind: NumKind, v: i64) -> Result<Op, Exception> {
+        Ok(match kind {
+            NumKind::Int16 => Op::I16(i16::try_from(v).map_err(|_| {
+                Exception::new(ExceptionKind::Overflow, format!("{v} overflows INT16"))
+            })?),
+            NumKind::Int32 => Op::I32(i32::try_from(v).map_err(|_| {
+                Exception::new(ExceptionKind::Overflow, format!("{v} overflows INT32"))
+            })?),
+            NumKind::Int64 => Op::I64(v),
+            NumKind::Double => Op::F64(v as f64),
+        })
+    }
+
+    fn arith(
+        &self,
+        other: &Op,
+        op: &str,
+        int_op: impl Fn(i64, i64) -> Option<i64>,
+        f_op: impl Fn(f64, f64) -> f64,
+    ) -> Result<Op, Exception> {
+        // String concatenation piggybacks on `+` like the C++ operator did.
+        if op == "+" {
+            if let (Op::Str(a), Op::Str(b)) = (self, other) {
+                return Ok(Op::Str(format!("{a}{b}")));
+            }
+        }
+        if matches!(self, Op::Null) || matches!(other, Op::Null) {
+            return Ok(Op::Null); // nulls propagate through arithmetic
+        }
+        let kind = Op::promote(self, other, op)?;
+        if kind == NumKind::Double {
+            let (x, y) = (
+                self.as_f64().expect("numeric"),
+                other.as_f64().expect("numeric"),
+            );
+            if (op == "/" || op == "%") && y == 0.0 {
+                return Err(Exception::division_by_zero());
+            }
+            return Ok(Op::F64(f_op(x, y)));
+        }
+        let (x, y) = (
+            self.as_i64().expect("numeric"),
+            other.as_i64().expect("numeric"),
+        );
+        if (op == "/" || op == "%") && y == 0 {
+            return Err(Exception::division_by_zero());
+        }
+        let v = int_op(x, y)
+            .ok_or_else(|| Exception::new(ExceptionKind::Overflow, format!("{x} {op} {y}")))?;
+        Op::from_i64(kind, v)
+    }
+
+    /// `+` (numeric addition; string concatenation).
+    pub fn add(&self, other: &Op) -> Result<Op, Exception> {
+        self.arith(other, "+", i64::checked_add, |a, b| a + b)
+    }
+
+    /// `-`.
+    pub fn sub(&self, other: &Op) -> Result<Op, Exception> {
+        self.arith(other, "-", i64::checked_sub, |a, b| a - b)
+    }
+
+    /// `*`.
+    pub fn mul(&self, other: &Op) -> Result<Op, Exception> {
+        self.arith(other, "*", i64::checked_mul, |a, b| a * b)
+    }
+
+    /// `/` (integer division on integer operands, like C++).
+    pub fn div(&self, other: &Op) -> Result<Op, Exception> {
+        self.arith(other, "/", i64::checked_div, |a, b| a / b)
+    }
+
+    /// `%` — the paper's "mode operation".
+    pub fn rem(&self, other: &Op) -> Result<Op, Exception> {
+        self.arith(other, "%", i64::checked_rem, |a, b| a % b)
+    }
+
+    /// Unary minus.
+    pub fn neg(&self) -> Result<Op, Exception> {
+        Op::I32(0).sub(self)
+    }
+
+    /// AND with null propagation (three-valued logic is collapsed: Null
+    /// counts as unknown → Null).
+    pub fn and(&self, other: &Op) -> Result<Op, Exception> {
+        match (self, other) {
+            (Op::Bool(false), _) | (_, Op::Bool(false)) => Ok(Op::Bool(false)),
+            (Op::Null, _) | (_, Op::Null) => Ok(Op::Null),
+            (Op::Bool(a), Op::Bool(b)) => Ok(Op::Bool(*a && *b)),
+            _ => Err(Exception::type_error("AND needs Boolean operands")),
+        }
+    }
+
+    /// OR with null propagation.
+    pub fn or(&self, other: &Op) -> Result<Op, Exception> {
+        match (self, other) {
+            (Op::Bool(true), _) | (_, Op::Bool(true)) => Ok(Op::Bool(true)),
+            (Op::Null, _) | (_, Op::Null) => Ok(Op::Null),
+            (Op::Bool(a), Op::Bool(b)) => Ok(Op::Bool(*a || *b)),
+            _ => Err(Exception::type_error("OR needs Boolean operands")),
+        }
+    }
+
+    /// NOT.
+    pub fn not(&self) -> Result<Op, Exception> {
+        match self {
+            Op::Bool(b) => Ok(Op::Bool(!b)),
+            Op::Null => Ok(Op::Null),
+            _ => Err(Exception::type_error("NOT needs a Boolean operand")),
+        }
+    }
+
+    /// Three-way comparison (numeric coercion; strings/chars/bools compare
+    /// within their own kind). Null compares as unknown → `None`.
+    pub fn compare(&self, other: &Op) -> Result<Option<Ordering>, Exception> {
+        if matches!(self, Op::Null) || matches!(other, Op::Null) {
+            return Ok(None);
+        }
+        match (self, other) {
+            (Op::Str(a), Op::Str(b)) => Ok(Some(a.cmp(b))),
+            (Op::Char(a), Op::Char(b)) => Ok(Some(a.cmp(b))),
+            (Op::Bool(a), Op::Bool(b)) => Ok(Some(a.cmp(b))),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => Ok(x.partial_cmp(&y)),
+                _ => Err(Exception::type_error(format!(
+                    "cannot compare {a:?} with {b:?}"
+                ))),
+            },
+        }
+    }
+
+    /// Comparison operators; Null operands yield Null (unknown).
+    pub fn cmp_op(&self, op: &str, other: &Op) -> Result<Op, Exception> {
+        let Some(ord) = self.compare(other)? else {
+            return Ok(Op::Null);
+        };
+        let b = match op {
+            "=" => ord == Ordering::Equal,
+            "<>" => ord != Ordering::Equal,
+            "<" => ord == Ordering::Less,
+            "<=" => ord != Ordering::Greater,
+            ">" => ord == Ordering::Greater,
+            ">=" => ord != Ordering::Less,
+            _ => return Err(Exception::type_error(format!("unknown comparison {op}"))),
+        };
+        Ok(Op::Bool(b))
+    }
+
+    /// Assignment cast — the paper's "result's type is casted to double
+    /// since z is double".
+    pub fn cast(&self, kind: NumKind) -> Result<Op, Exception> {
+        match kind {
+            NumKind::Double => self
+                .as_f64()
+                .map(Op::F64)
+                .ok_or_else(|| Exception::type_error("cannot cast to DOUBLE")),
+            _ => {
+                let v = match self {
+                    Op::F64(f) => *f as i64,
+                    other => other
+                        .as_i64()
+                        .ok_or_else(|| Exception::type_error("cannot cast to integer"))?,
+                };
+                Op::from_i64(kind, v)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_expression() {
+        // OperandDataType x(INT16), y(INT32), z(DOUBLE);
+        // x = 10; y = 13; z = (x*3 + x%3) * (y/4*5)
+        let x = Op::I16(10);
+        let y = Op::I32(13);
+        let inner_left = x
+            .mul(&Op::I16(3))
+            .unwrap()
+            .add(&x.rem(&Op::I16(3)).unwrap())
+            .unwrap();
+        let inner_right = y.div(&Op::I32(4)).unwrap().mul(&Op::I32(5)).unwrap();
+        let z = inner_left
+            .mul(&inner_right)
+            .unwrap()
+            .cast(NumKind::Double)
+            .unwrap();
+        // x*3 = 30, x%3 = 1 → 31; y/4 = 3 (integer division), *5 = 15;
+        // 31*15 = 465, cast to double.
+        assert_eq!(z, Op::F64(465.0));
+    }
+
+    #[test]
+    fn promotion_follows_width() {
+        assert_eq!(Op::I16(1).add(&Op::I32(2)).unwrap(), Op::I32(3));
+        assert_eq!(Op::I32(1).add(&Op::I64(2)).unwrap(), Op::I64(3));
+        assert_eq!(Op::I64(1).add(&Op::F64(0.5)).unwrap(), Op::F64(1.5));
+    }
+
+    #[test]
+    fn division_by_zero_raises() {
+        assert_eq!(
+            Op::I32(1).div(&Op::I32(0)),
+            Err(Exception::division_by_zero())
+        );
+        assert_eq!(
+            Op::I32(1).rem(&Op::I32(0)),
+            Err(Exception::division_by_zero())
+        );
+        assert_eq!(
+            Op::F64(1.0).div(&Op::F64(0.0)),
+            Err(Exception::division_by_zero())
+        );
+    }
+
+    #[test]
+    fn overflow_detected_in_narrow_types() {
+        let e = Op::I16(30_000).add(&Op::I16(30_000)).unwrap_err();
+        assert_eq!(e.kind, ExceptionKind::Overflow);
+        // The same values promote safely at I32.
+        assert_eq!(
+            Op::I32(30_000).add(&Op::I32(30_000)).unwrap(),
+            Op::I32(60_000)
+        );
+    }
+
+    #[test]
+    fn string_concatenation_on_plus() {
+        assert_eq!(
+            Op::Str("MOOD".into()).add(&Op::Str("SQL".into())).unwrap(),
+            Op::Str("MOODSQL".into())
+        );
+        assert!(Op::Str("x".into()).sub(&Op::Str("y".into())).is_err());
+    }
+
+    #[test]
+    fn type_errors_on_mixed_kinds() {
+        assert!(Op::Bool(true).add(&Op::I32(1)).is_err());
+        assert!(Op::Str("a".into()).mul(&Op::I32(2)).is_err());
+        assert!(Op::I32(1).and(&Op::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn boolean_logic_with_nulls() {
+        assert_eq!(Op::Bool(false).and(&Op::Null).unwrap(), Op::Bool(false));
+        assert_eq!(Op::Bool(true).and(&Op::Null).unwrap(), Op::Null);
+        assert_eq!(Op::Bool(true).or(&Op::Null).unwrap(), Op::Bool(true));
+        assert_eq!(Op::Bool(false).or(&Op::Null).unwrap(), Op::Null);
+        assert_eq!(Op::Null.not().unwrap(), Op::Null);
+    }
+
+    #[test]
+    fn comparisons_coerce_numerics() {
+        assert_eq!(
+            Op::I32(2).cmp_op("=", &Op::F64(2.0)).unwrap(),
+            Op::Bool(true)
+        );
+        assert_eq!(Op::I16(3).cmp_op("<", &Op::I64(4)).unwrap(), Op::Bool(true));
+        assert_eq!(
+            Op::Str("BMW".into())
+                .cmp_op("<>", &Op::Str("Audi".into()))
+                .unwrap(),
+            Op::Bool(true)
+        );
+        // Null comparisons are unknown.
+        assert_eq!(Op::Null.cmp_op("=", &Op::I32(1)).unwrap(), Op::Null);
+    }
+
+    #[test]
+    fn null_propagates_through_arithmetic() {
+        assert_eq!(Op::Null.add(&Op::I32(5)).unwrap(), Op::Null);
+        assert_eq!(Op::F64(1.0).mul(&Op::Null).unwrap(), Op::Null);
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        for v in [
+            Value::Integer(5),
+            Value::Float(2.5),
+            Value::LongInteger(9),
+            Value::Boolean(true),
+            Value::string("s"),
+            Value::Char('q'),
+            Value::Null,
+        ] {
+            assert_eq!(Op::from_value(&v).unwrap().into_value(), v);
+        }
+        assert!(Op::from_value(&Value::Set(vec![])).is_err());
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(Op::F64(3.9).cast(NumKind::Int32).unwrap(), Op::I32(3));
+        assert_eq!(Op::I32(3).cast(NumKind::Double).unwrap(), Op::F64(3.0));
+        let e = Op::I64(1 << 40).cast(NumKind::Int16).unwrap_err();
+        assert_eq!(e.kind, ExceptionKind::Overflow);
+    }
+}

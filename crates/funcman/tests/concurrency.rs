@@ -1,0 +1,170 @@
+//! Concurrency tests for the Function Manager: the paper's claim that "the
+//! shared library of the class will be unavailable only during the time it
+//! takes to write the new function" — readers and redefiners interleave
+//! safely, and invocations always see a consistent body.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mood_catalog::{Catalog, ClassBuilder, MethodSig};
+use mood_datamodel::{TypeDescriptor, Value};
+use mood_funcman::FunctionManager;
+use mood_storage::StorageManager;
+
+fn setup() -> (Arc<Catalog>, Arc<FunctionManager>, mood_storage::Oid) {
+    let sm = Arc::new(StorageManager::in_memory());
+    let cat = Arc::new(Catalog::create(sm).unwrap());
+    cat.define_class(ClassBuilder::class("Vehicle").attribute("weight", TypeDescriptor::integer()))
+        .unwrap();
+    let fm = Arc::new(FunctionManager::new(cat.clone()));
+    let oid = cat
+        .new_object(
+            "Vehicle",
+            Value::tuple(vec![("weight", Value::Integer(100))]),
+        )
+        .unwrap();
+    (cat, fm, oid)
+}
+
+#[test]
+fn concurrent_invocations_share_one_loaded_body() {
+    let (_cat, fm, oid) = setup();
+    fm.define_source(
+        "Vehicle",
+        MethodSig::new("m", TypeDescriptor::integer(), vec![]),
+        "weight * 2",
+    )
+    .unwrap();
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let fm = fm.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..200 {
+                assert_eq!(fm.invoke(oid, "m", &[]).unwrap(), Value::Integer(200));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Shared object loaded once despite 1600 concurrent calls.
+    assert_eq!(fm.stats().loads.load(Ordering::Relaxed), 1);
+}
+
+#[test]
+fn redefinition_races_always_yield_a_consistent_body() {
+    let (_cat, fm, oid) = setup();
+    fm.define_source(
+        "Vehicle",
+        MethodSig::new("m", TypeDescriptor::integer(), vec![]),
+        "weight * 1",
+    )
+    .unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    // Writer: flips the body between two versions.
+    let writer = {
+        let fm = fm.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut i = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                i += 1;
+                let factor = if i.is_multiple_of(2) { 1 } else { 3 };
+                fm.define_source(
+                    "Vehicle",
+                    MethodSig::new("m", TypeDescriptor::integer(), vec![]),
+                    &format!("weight * {factor}"),
+                )
+                .unwrap();
+            }
+        })
+    };
+    // Readers: every call must observe exactly one of the two versions.
+    let mut readers = Vec::new();
+    for _ in 0..4 {
+        let fm = fm.clone();
+        let stop = stop.clone();
+        readers.push(std::thread::spawn(move || {
+            let mut calls = 0;
+            while !stop.load(Ordering::Relaxed) && calls < 400 {
+                let v = fm.invoke(oid, "m", &[]).unwrap();
+                assert!(
+                    v == Value::Integer(100) || v == Value::Integer(300),
+                    "torn body produced {v}"
+                );
+                calls += 1;
+            }
+        }));
+    }
+    for r in readers {
+        r.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+}
+
+#[test]
+fn crash_in_one_thread_does_not_poison_others() {
+    let (_cat, fm, oid) = setup();
+    fm.register_native(
+        "Vehicle",
+        MethodSig::new("boom", TypeDescriptor::integer(), vec![]),
+        Arc::new(|_, _, _| panic!("thread-local crash")),
+    )
+    .unwrap();
+    fm.define_source(
+        "Vehicle",
+        MethodSig::new("ok", TypeDescriptor::integer(), vec![]),
+        "weight",
+    )
+    .unwrap();
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut handles = Vec::new();
+    for t in 0..6 {
+        let fm = fm.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..100 {
+                if t % 2 == 0 {
+                    assert!(fm.invoke(oid, "boom", &[]).is_err());
+                } else {
+                    assert_eq!(fm.invoke(oid, "ok", &[]).unwrap(), Value::Integer(100));
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    std::panic::set_hook(hook);
+}
+
+#[test]
+fn end_scope_during_traffic_is_safe() {
+    let (_cat, fm, oid) = setup();
+    fm.define_source(
+        "Vehicle",
+        MethodSig::new("m", TypeDescriptor::integer(), vec![]),
+        "weight",
+    )
+    .unwrap();
+    let stop = Arc::new(AtomicBool::new(false));
+    let scoper = {
+        let fm = fm.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                fm.end_scope();
+                std::thread::yield_now();
+            }
+        })
+    };
+    for _ in 0..500 {
+        assert_eq!(fm.invoke(oid, "m", &[]).unwrap(), Value::Integer(100));
+    }
+    stop.store(true, Ordering::Relaxed);
+    scoper.join().unwrap();
+    // Loads happened repeatedly (scope resets force reloads) but never
+    // broke an invocation.
+    assert!(fm.stats().loads.load(Ordering::Relaxed) >= 1);
+}

@@ -1,0 +1,312 @@
+//! MOODSQL abstract syntax.
+
+use mood_datamodel::TypeDescriptor;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    /// `EXPLAIN SELECT …` — optimize only, return the plan text.
+    Explain(SelectStmt),
+    CreateClass(CreateClass),
+    DropClass(String),
+    /// `new Employee <'Budak Arpinar', 'Computer Engineer', 1969>` —
+    /// positional values in attribute order (the MoodView protocol of
+    /// Section 9.4).
+    NewObject {
+        class: String,
+        values: Vec<Lit>,
+    },
+    CreateIndex {
+        class: String,
+        attribute: String,
+        unique: bool,
+        hash: bool,
+    },
+    /// `DEFINE METHOD Class::name(p Type, …) RETURNS Type AS '…body…'`.
+    DefineMethod {
+        class: String,
+        name: String,
+        params: Vec<(String, TypeDescriptor)>,
+        returns: TypeDescriptor,
+        body: String,
+    },
+    DropMethod {
+        class: String,
+        name: String,
+    },
+    /// `DELETE FROM Class v [WHERE …]`.
+    Delete {
+        class: String,
+        var: String,
+        where_clause: Option<Expr>,
+    },
+    /// `UPDATE Class v SET a = expr, … [WHERE …]`.
+    Update {
+        class: String,
+        var: String,
+        assignments: Vec<(String, Expr)>,
+        where_clause: Option<Expr>,
+    },
+}
+
+/// `CREATE CLASS` definition (Section 3.1's DDL).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateClass {
+    pub name: String,
+    pub attributes: Vec<(String, TypeDescriptor)>,
+    pub methods: Vec<MethodDecl>,
+    pub inherits: Vec<String>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDecl {
+    pub name: String,
+    pub params: Vec<(String, TypeDescriptor)>,
+    pub returns: TypeDescriptor,
+}
+
+/// `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub distinct: bool,
+    pub projection: Vec<Expr>,
+    pub from: Vec<FromItem>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<PathRef>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<(PathRef, bool)>, // (path, ascending)
+}
+
+/// One FROM-clause item: `[EVERY] Class [- Sub - Sub2] var`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    pub class: String,
+    pub every: bool,
+    pub minus: Vec<String>,
+    pub var: String,
+}
+
+/// `var.seg1.seg2…` — a path rooted at a range variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathRef {
+    pub var: String,
+    pub segments: Vec<String>,
+}
+
+impl PathRef {
+    pub fn render(&self) -> String {
+        if self.segments.is_empty() {
+            self.var.clone()
+        } else {
+            format!("{}.{}", self.var, self.segments.join("."))
+        }
+    }
+}
+
+/// Aggregate functions (GROUP BY support).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_uppercase().as_str() {
+            "COUNT" => AggFunc::Count,
+            "SUM" => AggFunc::Sum,
+            "AVG" => AggFunc::Avg,
+            "MIN" => AggFunc::Min,
+            "MAX" => AggFunc::Max,
+            _ => return None,
+        })
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        }
+    }
+}
+
+/// Literals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Null,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    pub fn to_theta(self) -> mood_cost::Theta {
+        match self {
+            CmpOp::Eq => mood_cost::Theta::Eq,
+            CmpOp::Ne => mood_cost::Theta::Ne,
+            CmpOp::Lt => mood_cost::Theta::Lt,
+            CmpOp::Le => mood_cost::Theta::Le,
+            CmpOp::Gt => mood_cost::Theta::Gt,
+            CmpOp::Ge => mood_cost::Theta::Ge,
+        }
+    }
+}
+
+/// Expressions (projections, predicates, arguments).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Path(PathRef),
+    /// `base.method(args…)` — `base` may be just a variable.
+    MethodCall {
+        base: PathRef,
+        method: String,
+        args: Vec<Expr>,
+    },
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+    },
+    Literal(Lit),
+    Compare {
+        op: CmpOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Between {
+        expr: Box<Expr>,
+        lo: Box<Expr>,
+        hi: Box<Expr>,
+    },
+    And(Vec<Expr>),
+    Or(Vec<Expr>),
+    Not(Box<Expr>),
+    Arith {
+        op: char,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Render back to (canonical) MOODSQL text — used for dictionary rows
+    /// and plan labels.
+    pub fn render(&self) -> String {
+        match self {
+            Expr::Path(p) => p.render(),
+            Expr::MethodCall { base, method, args } => {
+                let args: Vec<String> = args.iter().map(Expr::render).collect();
+                if base.segments.is_empty() {
+                    format!("{}.{method}({})", base.var, args.join(", "))
+                } else {
+                    format!("{}.{method}({})", base.render(), args.join(", "))
+                }
+            }
+            Expr::Agg { func, arg } => match arg {
+                Some(a) => format!("{}({})", func.name(), a.render()),
+                None => format!("{}(*)", func.name()),
+            },
+            Expr::Literal(Lit::Int(i)) => i.to_string(),
+            Expr::Literal(Lit::Float(x)) => x.to_string(),
+            Expr::Literal(Lit::Str(s)) => format!("'{s}'"),
+            Expr::Literal(Lit::Bool(b)) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+            Expr::Literal(Lit::Null) => "NULL".to_string(),
+            Expr::Compare { op, left, right } => {
+                format!("{} {} {}", left.render(), op.symbol(), right.render())
+            }
+            Expr::Between { expr, lo, hi } => {
+                format!(
+                    "{} BETWEEN {} AND {}",
+                    expr.render(),
+                    lo.render(),
+                    hi.render()
+                )
+            }
+            Expr::And(parts) => {
+                let ps: Vec<String> = parts.iter().map(Expr::render).collect();
+                ps.join(" AND ")
+            }
+            Expr::Or(parts) => {
+                let ps: Vec<String> = parts.iter().map(Expr::render).collect();
+                format!("({})", ps.join(" OR "))
+            }
+            Expr::Not(inner) => format!("NOT ({})", inner.render()),
+            Expr::Arith { op, left, right } => {
+                format!("{} {op} {}", left.render(), right.render())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_render() {
+        let p = PathRef {
+            var: "v".into(),
+            segments: vec!["drivetrain".into(), "engine".into()],
+        };
+        assert_eq!(p.render(), "v.drivetrain.engine");
+        let bare = PathRef {
+            var: "v".into(),
+            segments: vec![],
+        };
+        assert_eq!(bare.render(), "v");
+    }
+
+    #[test]
+    fn expr_render_roundtrips_shapes() {
+        let e = Expr::Compare {
+            op: CmpOp::Eq,
+            left: Box::new(Expr::Path(PathRef {
+                var: "c".into(),
+                segments: vec!["name".into()],
+            })),
+            right: Box::new(Expr::Literal(Lit::Str("BMW".into()))),
+        };
+        assert_eq!(e.render(), "c.name = 'BMW'");
+        let agg = Expr::Agg {
+            func: AggFunc::Count,
+            arg: None,
+        };
+        assert_eq!(agg.render(), "COUNT(*)");
+    }
+
+    #[test]
+    fn agg_parse() {
+        assert_eq!(AggFunc::parse("count"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::parse("AVG"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::parse("median"), None);
+    }
+}

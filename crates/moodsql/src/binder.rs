@@ -1,0 +1,560 @@
+//! Binder: lower a parsed `SELECT` to the optimizer's [`QuerySpec`].
+//!
+//! The binder implements the predicate classification of Section 7:
+//!
+//! * `v.A θ c` with `A` atomic → *immediate selection*;
+//! * `v.A1…Am θ c` through references → *path selection*;
+//! * explicit joins `v.A1…An = w` (a path equated to another range
+//!   variable, as in the Section 3.1 example query) are rewritten: `w`
+//!   becomes the path's terminal variable and `w`'s own atomic predicates
+//!   extend the path — turning the explicit join back into the implicit
+//!   join the optimizer handles;
+//! * everything else (method calls, arithmetic, cross-variable
+//!   comparisons) → *other selection*, evaluated last.
+
+use std::collections::HashMap;
+
+use mood_catalog::Catalog;
+use mood_optimizer::{BoolExpr, Const, PredSpec, QuerySpec};
+
+use crate::ast::{CmpOp, Expr, FromItem, Lit, PathRef, SelectStmt};
+use crate::error::{Result, SqlError};
+
+/// The lowering result.
+#[derive(Debug)]
+pub struct Lowered {
+    pub spec: QuerySpec,
+    /// The FROM item the spec is rooted at.
+    pub root: FromItem,
+    /// Range variables rewritten into paths: user var → the path prefix
+    /// (from the root var) that reaches it.
+    pub rewritten_vars: HashMap<String, Vec<String>>,
+    /// FROM items the rewrite could not absorb (beyond the root): the
+    /// executor falls back to a nested-loop product for these.
+    pub unabsorbed: Vec<FromItem>,
+}
+
+/// Is this path's tail atomic / traversable, judged by the catalog?
+fn classify_path(catalog: &Catalog, class: &str, segments: &[String]) -> PathShape {
+    let mut cur = class.to_string();
+    for (i, seg) in segments.iter().enumerate() {
+        let Ok(attrs) = catalog.effective_attributes(&cur) else {
+            return PathShape::Opaque;
+        };
+        let Some(attr) = attrs.iter().find(|a| a.name == *seg) else {
+            return PathShape::Opaque;
+        };
+        let last = i + 1 == segments.len();
+        match attr.ty.referenced_class() {
+            Some(target) => {
+                if last {
+                    return PathShape::EndsAtReference;
+                }
+                cur = target.to_string();
+            }
+            None => {
+                if last && attr.ty.is_atomic() {
+                    return if segments.len() == 1 {
+                        PathShape::Immediate
+                    } else {
+                        PathShape::PathToAtomic
+                    };
+                }
+                return PathShape::Opaque;
+            }
+        }
+    }
+    PathShape::Opaque
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum PathShape {
+    /// Single atomic attribute of the root class.
+    Immediate,
+    /// Multi-hop path ending at an atomic attribute.
+    PathToAtomic,
+    /// Path ending at a reference attribute (joinable to a variable).
+    EndsAtReference,
+    /// Not resolvable through the catalog.
+    Opaque,
+}
+
+fn lit_to_const(l: &Lit) -> Option<Const> {
+    Some(match l {
+        Lit::Int(i) => Const::Num(*i as f64),
+        Lit::Float(x) => Const::Num(*x),
+        Lit::Str(s) => Const::Str(s.clone()),
+        Lit::Bool(b) => Const::Bool(*b),
+        Lit::Null => return None,
+    })
+}
+
+/// Lower a SELECT into a [`QuerySpec`] rooted at its first FROM item.
+pub fn lower(catalog: &Catalog, stmt: &SelectStmt) -> Result<Lowered> {
+    let root = stmt
+        .from
+        .first()
+        .cloned()
+        .ok_or_else(|| SqlError::Bind("SELECT requires at least one FROM item".into()))?;
+    catalog.class(&root.class)?;
+    let other_vars: HashMap<String, FromItem> = stmt
+        .from
+        .iter()
+        .skip(1)
+        .map(|f| (f.var.clone(), f.clone()))
+        .collect();
+
+    // First pass over the (pre-DNF) expression: find rewritable explicit
+    // joins `root-path = var`, collecting var → path prefix.
+    let mut rewritten: HashMap<String, Vec<String>> = HashMap::new();
+    if let Some(w) = &stmt.where_clause {
+        collect_var_joins(catalog, w, &root, &other_vars, &mut rewritten);
+    }
+
+    // Validate variable and attribute references before lowering.
+    if let Some(w) = &stmt.where_clause {
+        validate_refs(catalog, w, stmt)?;
+    }
+    for e in &stmt.projection {
+        validate_refs(catalog, e, stmt)?;
+    }
+
+    // Build the Boolean tree of PredSpec leaves.
+    let tree = match &stmt.where_clause {
+        Some(w) => Some(to_bool_expr(catalog, w, &root, &rewritten)?),
+        None => None,
+    };
+    let terms: Vec<Vec<PredSpec>> = match tree {
+        Some(t) => t.to_dnf(),
+        None => vec![Vec::new()],
+    };
+
+    let mut spec = QuerySpec::new(&root.var, &root.class);
+    spec.every = root.every;
+    spec.minus = root.minus.clone();
+    spec.terms = terms;
+    spec.projection = stmt.projection.iter().map(Expr::render).collect();
+    spec.group_by = stmt.group_by.iter().map(PathRef::render).collect();
+    spec.having = stmt.having.as_ref().map(Expr::render);
+    spec.order_by = stmt.order_by.iter().map(|(p, _)| p.render()).collect();
+
+    let unabsorbed: Vec<FromItem> = stmt
+        .from
+        .iter()
+        .skip(1)
+        .filter(|f| !rewritten.contains_key(&f.var))
+        .cloned()
+        .collect();
+
+    Ok(Lowered {
+        spec,
+        root,
+        rewritten_vars: rewritten,
+        unabsorbed,
+    })
+}
+
+/// Walk an expression validating that every path's range variable is in
+/// scope and its first attribute exists on the variable's class (deeper
+/// segments are checked at execution, where dynamic types are known).
+fn validate_refs(catalog: &Catalog, e: &Expr, stmt: &SelectStmt) -> Result<()> {
+    let check_path = |p: &PathRef| -> Result<()> {
+        let Some(item) = stmt.from.iter().find(|f| f.var == p.var) else {
+            return Err(SqlError::Bind(format!("unknown range variable {}", p.var)));
+        };
+        if let Some(first) = p.segments.first() {
+            let attrs = catalog.effective_attributes(&item.class)?;
+            if !attrs.iter().any(|a| &a.name == first) {
+                return Err(SqlError::Bind(format!(
+                    "class {} has no attribute {first}",
+                    item.class
+                )));
+            }
+        }
+        Ok(())
+    };
+    match e {
+        Expr::Path(p) => check_path(p)?,
+        Expr::MethodCall { base, args, .. } => {
+            // Only the variable scope is checkable (the method may be
+            // late-bound on a subclass).
+            if !stmt.from.iter().any(|f| f.var == base.var) {
+                return Err(SqlError::Bind(format!(
+                    "unknown range variable {}",
+                    base.var
+                )));
+            }
+            for a in args {
+                validate_refs(catalog, a, stmt)?;
+            }
+        }
+        Expr::Agg { arg: Some(a), .. } => validate_refs(catalog, a, stmt)?,
+        Expr::Compare { left, right, .. } => {
+            validate_refs(catalog, left, stmt)?;
+            validate_refs(catalog, right, stmt)?;
+        }
+        Expr::Between { expr, lo, hi } => {
+            validate_refs(catalog, expr, stmt)?;
+            validate_refs(catalog, lo, stmt)?;
+            validate_refs(catalog, hi, stmt)?;
+        }
+        Expr::And(parts) | Expr::Or(parts) => {
+            for p in parts {
+                validate_refs(catalog, p, stmt)?;
+            }
+        }
+        Expr::Not(inner) => validate_refs(catalog, inner, stmt)?,
+        Expr::Arith { left, right, .. } => {
+            validate_refs(catalog, left, stmt)?;
+            validate_refs(catalog, right, stmt)?;
+        }
+        Expr::Agg { arg: None, .. } | Expr::Literal(_) => {}
+    }
+    Ok(())
+}
+
+/// Find `root-path = var` equalities (at any polarity-safe position: we
+/// only rewrite joins under pure AND/OR structure, which MOODSQL's
+/// reference equality joins always are).
+fn collect_var_joins(
+    catalog: &Catalog,
+    e: &Expr,
+    root: &FromItem,
+    other_vars: &HashMap<String, FromItem>,
+    out: &mut HashMap<String, Vec<String>>,
+) {
+    match e {
+        Expr::And(parts) | Expr::Or(parts) => {
+            for p in parts {
+                collect_var_joins(catalog, p, root, other_vars, out);
+            }
+        }
+        Expr::Compare {
+            op: CmpOp::Eq,
+            left,
+            right,
+        } => {
+            let (path, var) = match (&**left, &**right) {
+                (Expr::Path(p), Expr::Path(v)) if v.segments.is_empty() => (p, v),
+                (Expr::Path(v), Expr::Path(p)) if v.segments.is_empty() => (p, v),
+                _ => return,
+            };
+            if path.var != root.var || !other_vars.contains_key(&var.var) {
+                return;
+            }
+            if classify_path(catalog, &root.class, &path.segments) == PathShape::EndsAtReference {
+                out.insert(var.var.clone(), path.segments.clone());
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Convert the WHERE expression into a Boolean tree over [`PredSpec`].
+fn to_bool_expr(
+    catalog: &Catalog,
+    e: &Expr,
+    root: &FromItem,
+    rewritten: &HashMap<String, Vec<String>>,
+) -> Result<BoolExpr<PredSpec>> {
+    Ok(match e {
+        Expr::And(parts) => BoolExpr::And(
+            parts
+                .iter()
+                .map(|p| to_bool_expr(catalog, p, root, rewritten))
+                .collect::<Result<_>>()?,
+        ),
+        Expr::Or(parts) => BoolExpr::Or(
+            parts
+                .iter()
+                .map(|p| to_bool_expr(catalog, p, root, rewritten))
+                .collect::<Result<_>>()?,
+        ),
+        Expr::Not(inner) => BoolExpr::Not(Box::new(to_bool_expr(catalog, inner, root, rewritten)?)),
+        Expr::Between { expr, lo, hi } => {
+            // `x BETWEEN a AND b` ⇒ `x >= a AND x <= b`.
+            let ge = Expr::Compare {
+                op: CmpOp::Ge,
+                left: expr.clone(),
+                right: lo.clone(),
+            };
+            let le = Expr::Compare {
+                op: CmpOp::Le,
+                left: expr.clone(),
+                right: hi.clone(),
+            };
+            BoolExpr::And(vec![
+                to_bool_expr(catalog, &ge, root, rewritten)?,
+                to_bool_expr(catalog, &le, root, rewritten)?,
+            ])
+        }
+        other => BoolExpr::Leaf(classify_leaf(catalog, other, root, rewritten)),
+    })
+}
+
+fn classify_leaf(
+    catalog: &Catalog,
+    e: &Expr,
+    root: &FromItem,
+    rewritten: &HashMap<String, Vec<String>>,
+) -> PredSpec {
+    if let Expr::Compare { op, left, right } = e {
+        // Normalize constant-on-the-left: `c θ path` ⇒ `path θ' c`.
+        let (path_side, lit_side, op) = match (&**left, &**right) {
+            (Expr::Path(p), Expr::Literal(l)) => (Some(p), Some(l), *op),
+            (Expr::Literal(l), Expr::Path(p)) => {
+                let flipped = match op {
+                    CmpOp::Lt => CmpOp::Gt,
+                    CmpOp::Le => CmpOp::Ge,
+                    CmpOp::Gt => CmpOp::Lt,
+                    CmpOp::Ge => CmpOp::Le,
+                    other => *other,
+                };
+                (Some(p), Some(l), flipped)
+            }
+            _ => (None, None, *op),
+        };
+        if let (Some(p), Some(l)) = (path_side, lit_side) {
+            if let Some(constant) = lit_to_const(l) {
+                // Resolve the path to root-var coordinates.
+                let (eff_var, mut segs) = if p.var == root.var {
+                    (root.var.clone(), p.segments.clone())
+                } else if let Some(prefix) = rewritten.get(&p.var) {
+                    let mut s = prefix.clone();
+                    s.extend(p.segments.iter().cloned());
+                    (root.var.clone(), s)
+                } else {
+                    (p.var.clone(), p.segments.clone())
+                };
+                if eff_var == root.var && !segs.is_empty() {
+                    match classify_path(catalog, &root.class, &segs) {
+                        PathShape::Immediate => {
+                            return PredSpec::Immediate {
+                                attribute: segs.remove(0),
+                                theta: op.to_theta(),
+                                constant,
+                            };
+                        }
+                        PathShape::PathToAtomic => {
+                            // Preserve the user's variable name for the
+                            // terminal class when the path came from an
+                            // explicit join rewrite.
+                            let terminal_var = rewritten
+                                .iter()
+                                .find(|(_, prefix)| {
+                                    segs.len() == prefix.len() + 1 && segs.starts_with(prefix)
+                                })
+                                .map(|(v, _)| v.clone());
+                            return PredSpec::Path {
+                                path: segs,
+                                theta: op.to_theta(),
+                                constant,
+                                terminal_var,
+                            };
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // An explicit join `path = var` that was rewritten: it is absorbed
+        // into the rewritten paths, but must still hold as a predicate when
+        // the executor falls back; emit it as Other with the original text.
+        if let (Expr::Path(p), Expr::Path(v)) = (&**left, &**right) {
+            if v.segments.is_empty() && rewritten.contains_key(&v.var) && p.var == root.var {
+                return PredSpec::Other {
+                    text: format!("__join__ {}", e.render()),
+                };
+            }
+        }
+    }
+    PredSpec::Other { text: e.render() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use mood_catalog::ClassBuilder;
+    use mood_datamodel::TypeDescriptor;
+    use mood_storage::StorageManager;
+    use std::sync::Arc;
+
+    fn catalog() -> Arc<Catalog> {
+        let sm = Arc::new(StorageManager::in_memory());
+        let cat = Arc::new(Catalog::create(sm).unwrap());
+        cat.define_class(
+            ClassBuilder::class("VehicleEngine")
+                .attribute("size", TypeDescriptor::integer())
+                .attribute("cylinders", TypeDescriptor::integer()),
+        )
+        .unwrap();
+        cat.define_class(
+            ClassBuilder::class("VehicleDriveTrain")
+                .attribute("engine", TypeDescriptor::reference("VehicleEngine"))
+                .attribute("transmission", TypeDescriptor::string()),
+        )
+        .unwrap();
+        cat.define_class(
+            ClassBuilder::class("Company").attribute("name", TypeDescriptor::string()),
+        )
+        .unwrap();
+        cat.define_class(
+            ClassBuilder::class("Vehicle")
+                .attribute("id", TypeDescriptor::integer())
+                .attribute("weight", TypeDescriptor::integer())
+                .attribute("drivetrain", TypeDescriptor::reference("VehicleDriveTrain"))
+                .attribute("company", TypeDescriptor::reference("Company")),
+        )
+        .unwrap();
+        cat.define_class(ClassBuilder::class("Automobile").inherits("Vehicle"))
+            .unwrap();
+        cat.define_class(ClassBuilder::class("JapaneseAuto").inherits("Automobile"))
+            .unwrap();
+        cat
+    }
+
+    fn lower_sql(cat: &Catalog, sql: &str) -> Lowered {
+        let crate::ast::Statement::Select(s) = parse(sql).unwrap() else {
+            panic!()
+        };
+        lower(cat, &s).unwrap()
+    }
+
+    #[test]
+    fn immediate_and_path_classification() {
+        let cat = catalog();
+        let l = lower_sql(
+            &cat,
+            "SELECT v FROM Vehicle v WHERE v.weight > 1000 AND \
+             v.drivetrain.engine.cylinders = 2",
+        );
+        let term = &l.spec.terms[0];
+        assert_eq!(term.len(), 2);
+        assert!(matches!(
+            &term[0],
+            PredSpec::Immediate { attribute, .. } if attribute == "weight"
+        ));
+        assert!(matches!(
+            &term[1],
+            PredSpec::Path { path, .. } if path == &vec!["drivetrain".to_string(), "engine".into(), "cylinders".into()]
+        ));
+    }
+
+    #[test]
+    fn section_3_1_query_rewrites_var_join() {
+        let cat = catalog();
+        let l = lower_sql(
+            &cat,
+            "SELECT c FROM EVERY Automobile - JapaneseAuto c, VehicleEngine v \
+             WHERE c.drivetrain.transmission = 'AUTOMATIC' AND \
+             c.drivetrain.engine = v AND v.cylinders > 4",
+        );
+        assert_eq!(l.root.class, "Automobile");
+        assert!(l.root.every);
+        assert_eq!(l.root.minus, vec!["JapaneseAuto"]);
+        // v was rewritten into the c.drivetrain.engine path.
+        assert_eq!(
+            l.rewritten_vars.get("v"),
+            Some(&vec!["drivetrain".to_string(), "engine".to_string()])
+        );
+        assert!(l.unabsorbed.is_empty());
+        let term = &l.spec.terms[0];
+        // transmission (path), the join marker (other), cylinders (path
+        // with terminal_var preserved).
+        let cyl = term
+            .iter()
+            .find_map(|p| match p {
+                PredSpec::Path {
+                    path, terminal_var, ..
+                } if path.last().map(String::as_str) == Some("cylinders") => {
+                    Some(terminal_var.clone())
+                }
+                _ => None,
+            })
+            .expect("cylinders became a path predicate");
+        assert_eq!(cyl, Some("v".to_string()));
+    }
+
+    #[test]
+    fn between_expands_to_two_predicates() {
+        let cat = catalog();
+        let l = lower_sql(
+            &cat,
+            "SELECT v FROM Vehicle v WHERE v.weight BETWEEN 500 AND 900",
+        );
+        let term = &l.spec.terms[0];
+        assert_eq!(term.len(), 2);
+        assert!(matches!(
+            &term[0],
+            PredSpec::Immediate {
+                theta: mood_cost::Theta::Ge,
+                ..
+            }
+        ));
+        assert!(matches!(
+            &term[1],
+            PredSpec::Immediate {
+                theta: mood_cost::Theta::Le,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn or_produces_multiple_terms() {
+        let cat = catalog();
+        let l = lower_sql(
+            &cat,
+            "SELECT v FROM Vehicle v WHERE v.weight = 1 OR v.weight = 2",
+        );
+        assert_eq!(l.spec.terms.len(), 2);
+    }
+
+    #[test]
+    fn not_pushes_into_theta() {
+        let cat = catalog();
+        let l = lower_sql(&cat, "SELECT v FROM Vehicle v WHERE NOT v.weight = 5");
+        assert!(matches!(
+            &l.spec.terms[0][0],
+            PredSpec::Immediate {
+                theta: mood_cost::Theta::Ne,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn method_calls_become_other() {
+        let cat = catalog();
+        let l = lower_sql(&cat, "SELECT v FROM Vehicle v WHERE v.lbweight() > 2000");
+        assert!(matches!(
+            &l.spec.terms[0][0],
+            PredSpec::Other { text } if text == "v.lbweight() > 2000"
+        ));
+    }
+
+    #[test]
+    fn constant_on_left_normalizes() {
+        let cat = catalog();
+        let l = lower_sql(&cat, "SELECT v FROM Vehicle v WHERE 1000 < v.weight");
+        assert!(matches!(
+            &l.spec.terms[0][0],
+            PredSpec::Immediate {
+                theta: mood_cost::Theta::Gt,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unabsorbed_from_items_reported() {
+        let cat = catalog();
+        let l = lower_sql(
+            &cat,
+            "SELECT v FROM Vehicle v, Company c WHERE v.weight > 0",
+        );
+        assert_eq!(l.unabsorbed.len(), 1);
+        assert_eq!(l.unabsorbed[0].var, "c");
+    }
+}

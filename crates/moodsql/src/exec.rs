@@ -1,0 +1,1010 @@
+//! Plan execution.
+//!
+//! The executor follows the optimizer's access plan (so join methods and
+//! path orders actually determine the I/O pattern — what the benches
+//! measure against the §6 cost model), evaluates predicates with run-time
+//! type checking through `OperandDataType`, and applies the clause order of
+//! Figure 7.1 (FROM → WHERE → GROUP BY/HAVING → projection → ORDER BY) with
+//! the operator order of Figure 7.2 inside WHERE (SELECT → JOIN → PROJECT →
+//! UNION). An execution trace records the stages for the conformance tests.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use mood_catalog::Catalog;
+use mood_cost::JoinMethod;
+use mood_datamodel::{encode_value, Value};
+use mood_funcman::{FunctionManager, OperandDataType};
+use mood_optimizer::{optimize, OptimizerConfig, Plan};
+use mood_storage::Oid;
+
+use crate::ast::{AggFunc, Expr, Lit, PathRef, SelectStmt};
+use crate::binder::{lower, Lowered};
+use crate::error::{Result, SqlError};
+use crate::parser::parse_expr;
+
+/// One variable binding set: range variable → bound object.
+pub type Row = BTreeMap<String, BoundObj>;
+
+/// A bound object (stored or transient).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundObj {
+    pub oid: Option<Oid>,
+    pub value: Value,
+}
+
+/// A query result: column labels plus value rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Single-column convenience accessor.
+    pub fn column(&self, idx: usize) -> Vec<&Value> {
+        self.rows.iter().map(|r| &r[idx]).collect()
+    }
+}
+
+/// The executor.
+pub struct Executor<'a> {
+    pub catalog: &'a Catalog,
+    pub funcman: &'a FunctionManager,
+    pub config: OptimizerConfig,
+    trace: std::cell::RefCell<Vec<String>>,
+}
+
+impl<'a> Executor<'a> {
+    pub fn new(catalog: &'a Catalog, funcman: &'a FunctionManager) -> Executor<'a> {
+        Executor {
+            catalog,
+            funcman,
+            config: OptimizerConfig::default(),
+            trace: std::cell::RefCell::new(Vec::new()),
+        }
+    }
+
+    pub fn with_config(mut self, config: OptimizerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The stage trace of the last query (Figure 7.1/7.2 conformance).
+    pub fn trace(&self) -> Vec<String> {
+        self.trace.borrow().clone()
+    }
+
+    fn mark(&self, stage: impl Into<String>) {
+        self.trace.borrow_mut().push(stage.into());
+    }
+
+    /// Optimize only: the plan text (the `EXPLAIN` statement).
+    pub fn explain(&self, stmt: &SelectStmt) -> Result<String> {
+        let lowered = lower(self.catalog, stmt)?;
+        let optimized = optimize(&lowered.spec, &self.catalog.stats(), &self.config);
+        let mut out = String::new();
+        for term in &optimized.terms {
+            if !term.path_sel_info.is_empty() {
+                out.push_str("-- PathSelInfo (predicate, selectivity, F, F/(1-s)):\n");
+                for row in &term.path_sel_info {
+                    out.push_str(&format!(
+                        "--   {} | {:.3e} | {:.3} | {:.3}\n",
+                        row.predicate, row.selectivity, row.forward_cost, row.rank
+                    ));
+                }
+            }
+            out.push_str(&term.plan.to_string());
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // SELECT execution
+    // ------------------------------------------------------------------
+
+    pub fn run_select(&self, stmt: &SelectStmt) -> Result<QueryResult> {
+        self.trace.borrow_mut().clear();
+        let lowered = lower(self.catalog, stmt)?;
+        self.mark("FROM");
+        let mut rows = if lowered.unabsorbed.is_empty() {
+            self.run_optimized(stmt, &lowered)?
+        } else {
+            self.run_nested_loop(stmt, &lowered)?
+        };
+
+        // GROUP BY / HAVING (Figure 7.1).
+        let grouped = !stmt.group_by.is_empty()
+            || stmt
+                .projection
+                .iter()
+                .any(|e| matches!(e, Expr::Agg { .. }));
+        let result = if grouped {
+            self.mark("GROUP BY");
+            let groups = self.group_rows(&rows, &stmt.group_by)?;
+            let groups = if let Some(h) = &stmt.having {
+                self.mark("HAVING");
+                let mut kept = Vec::new();
+                for g in groups {
+                    if self.eval_group_pred(h, &g)? {
+                        kept.push(g);
+                    }
+                }
+                kept
+            } else {
+                groups
+            };
+            self.mark("PROJECT");
+            let columns: Vec<String> = stmt.projection.iter().map(Expr::render).collect();
+            let mut out_rows = Vec::new();
+            for g in &groups {
+                let mut out = Vec::new();
+                for p in &stmt.projection {
+                    out.push(self.eval_group_expr(p, g)?);
+                }
+                out_rows.push(out);
+            }
+            QueryResult {
+                columns,
+                rows: out_rows,
+            }
+        } else {
+            // ORDER BY applies to the bound rows pre-projection.
+            if !stmt.order_by.is_empty() {
+                self.mark("ORDER BY");
+                self.sort_rows(&mut rows, &stmt.order_by)?;
+            }
+            self.mark("PROJECT");
+            let columns: Vec<String> = stmt.projection.iter().map(Expr::render).collect();
+            let mut out_rows = Vec::new();
+            for row in &rows {
+                let mut out = Vec::new();
+                for p in &stmt.projection {
+                    out.push(self.eval_expr(p, row)?);
+                }
+                out_rows.push(out);
+            }
+            QueryResult {
+                columns,
+                rows: out_rows,
+            }
+        };
+        // Grouped ORDER BY sorts output rows by matching columns.
+        let mut result = result;
+        if grouped && !stmt.order_by.is_empty() {
+            self.mark("ORDER BY");
+            let keys: Vec<usize> = stmt
+                .order_by
+                .iter()
+                .filter_map(|(p, _)| result.columns.iter().position(|c| *c == p.render()))
+                .collect();
+            let dirs: Vec<bool> = stmt.order_by.iter().map(|(_, asc)| *asc).collect();
+            result.rows.sort_by(|a, b| {
+                for (ki, &col) in keys.iter().enumerate() {
+                    let ord = a[col].compare(&b[col]).unwrap_or(std::cmp::Ordering::Equal);
+                    let ord = if dirs.get(ki).copied().unwrap_or(true) {
+                        ord
+                    } else {
+                        ord.reverse()
+                    };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        if stmt.distinct {
+            let mut seen = HashSet::new();
+            result.rows.retain(|r| {
+                let key: Vec<u8> = r.iter().flat_map(encode_value).collect();
+                seen.insert(key)
+            });
+        }
+        Ok(result)
+    }
+
+    fn run_optimized(&self, _stmt: &SelectStmt, lowered: &Lowered) -> Result<Vec<Row>> {
+        // Ensure statistics exist for the root class; first use collects.
+        if self.catalog.stats().class(&lowered.root.class).is_none() {
+            self.catalog.collect_stats()?;
+        }
+        let optimized = optimize(&lowered.spec, &self.catalog.stats(), &self.config);
+        let mut all_rows: Vec<Row> = Vec::new();
+        for term in &optimized.terms {
+            let mut temps: HashMap<String, Vec<Row>> = HashMap::new();
+            for (name, plan) in &term.plan.temps {
+                let rows = self.exec_plan(plan, lowered, &temps)?;
+                temps.insert(name.clone(), rows);
+            }
+            let rows = self.exec_plan(&term.plan.root, lowered, &temps)?;
+            all_rows.extend(rows);
+        }
+        if optimized.terms.len() > 1 {
+            self.mark("WHERE:UNION");
+            // Set semantics over variable bindings: dedupe by OID signature.
+            let mut seen = HashSet::new();
+            all_rows.retain(|row| {
+                let sig: Vec<(String, Option<Oid>)> =
+                    row.iter().map(|(k, v)| (k.clone(), v.oid)).collect();
+                seen.insert(format!("{sig:?}"))
+            });
+        }
+        Ok(all_rows)
+    }
+
+    /// Fallback for queries the optimizer's single-root model cannot
+    /// absorb: nested-loop product over the FROM extents plus a residual
+    /// WHERE filter.
+    fn run_nested_loop(&self, stmt: &SelectStmt, lowered: &Lowered) -> Result<Vec<Row>> {
+        let mut rows: Vec<Row> = vec![Row::new()];
+        for item in &stmt.from {
+            let extent = if item.every {
+                self.catalog.extent_every(&item.class, &item.minus)?
+            } else {
+                self.catalog.extent(&item.class)?
+            };
+            let mut next = Vec::with_capacity(rows.len() * extent.len());
+            for row in &rows {
+                for (oid, value) in &extent {
+                    let mut r = row.clone();
+                    r.insert(
+                        item.var.clone(),
+                        BoundObj {
+                            oid: Some(*oid),
+                            value: value.clone(),
+                        },
+                    );
+                    next.push(r);
+                }
+            }
+            rows = next;
+        }
+        let _ = lowered;
+        if let Some(w) = &stmt.where_clause {
+            self.mark("WHERE:SELECT");
+            let mut kept = Vec::new();
+            for row in rows {
+                if self.eval_pred(w, &row)? {
+                    kept.push(row);
+                }
+            }
+            rows = kept;
+        }
+        Ok(rows)
+    }
+
+    // ------------------------------------------------------------------
+    // Plan interpretation
+    // ------------------------------------------------------------------
+
+    fn exec_plan(
+        &self,
+        plan: &Plan,
+        lowered: &Lowered,
+        temps: &HashMap<String, Vec<Row>>,
+    ) -> Result<Vec<Row>> {
+        match plan {
+            Plan::Bind { class, var } => {
+                let extent = if var == &lowered.root.var {
+                    if lowered.root.every {
+                        self.catalog.extent_every(class, &lowered.root.minus)?
+                    } else {
+                        self.catalog.extent(class)?
+                    }
+                } else {
+                    self.catalog.extent(class)?
+                };
+                Ok(extent
+                    .into_iter()
+                    .map(|(oid, value)| {
+                        let mut row = Row::new();
+                        row.insert(
+                            var.clone(),
+                            BoundObj {
+                                oid: Some(oid),
+                                value,
+                            },
+                        );
+                        row
+                    })
+                    .collect())
+            }
+            Plan::Temp { name } => temps
+                .get(name)
+                .cloned()
+                .ok_or_else(|| SqlError::Exec(format!("unknown temporary {name}"))),
+            Plan::IndSel {
+                class,
+                var,
+                predicate,
+                ..
+            } => {
+                self.mark("WHERE:SELECT");
+                let expr = parse_expr(predicate)?;
+                let preds = flatten_and(&expr);
+                let mut oid_set: Option<HashSet<Oid>> = None;
+                for p in &preds {
+                    let oids = self.index_probe(class, p)?;
+                    oid_set = Some(match oid_set {
+                        None => oids.into_iter().collect(),
+                        Some(prev) => oids.into_iter().filter(|o| prev.contains(o)).collect(),
+                    });
+                }
+                let mut rows = Vec::new();
+                for oid in oid_set.unwrap_or_default() {
+                    let Ok((_, value)) = self.catalog.get_object(oid) else {
+                        continue; // stale index entry (rebuild-on-demand)
+                    };
+                    let mut row = Row::new();
+                    row.insert(
+                        var.clone(),
+                        BoundObj {
+                            oid: Some(oid),
+                            value,
+                        },
+                    );
+                    // Re-verify: path indexes are rebuilt on demand, so an
+                    // entry may be stale; evaluating the predicate on the
+                    // fetched object guarantees correct answers regardless.
+                    if self.eval_pred(&expr, &row)? {
+                        rows.push(row);
+                    }
+                }
+                rows.sort_by_key(|r| r.get(var).and_then(|b| b.oid));
+                Ok(rows)
+            }
+            Plan::Select { input, predicate } => {
+                let rows = self.exec_plan(input, lowered, temps)?;
+                self.mark("WHERE:SELECT");
+                let text = predicate.strip_prefix("__join__ ").unwrap_or(predicate);
+                let expr = parse_expr(text)?;
+                let mut kept = Vec::new();
+                for row in rows {
+                    if self.eval_pred(&expr, &row)? {
+                        kept.push(row);
+                    }
+                }
+                Ok(kept)
+            }
+            Plan::Join {
+                left,
+                right,
+                method,
+                condition,
+            } => {
+                let left_rows = self.exec_plan(left, lowered, temps)?;
+                let out = self.exec_join(left_rows, right, *method, condition, lowered, temps)?;
+                self.mark("WHERE:JOIN");
+                Ok(out)
+            }
+            Plan::Union { inputs } => {
+                let mut all = Vec::new();
+                for p in inputs {
+                    all.extend(self.exec_plan(p, lowered, temps)?);
+                }
+                self.mark("WHERE:UNION");
+                Ok(all)
+            }
+            other => Err(SqlError::Exec(format!(
+                "plan node {other:?} is handled at the statement level"
+            ))),
+        }
+    }
+
+    fn index_probe(&self, class: &str, p: &Expr) -> Result<Vec<Oid>> {
+        let Expr::Compare { op, left, right } = p else {
+            return Err(SqlError::Exec(format!(
+                "INDSEL predicate not a comparison: {p:?}"
+            )));
+        };
+        let (Expr::Path(path), Expr::Literal(lit)) = (&**left, &**right) else {
+            return Err(SqlError::Exec("INDSEL predicate shape".into()));
+        };
+        if path.segments.is_empty() {
+            return Err(SqlError::Exec(
+                "INDSEL predicate must target an attribute".into(),
+            ));
+        }
+        // Dotted join handles both plain attributes and whole-path indexes.
+        let attr = &path.segments.join(".");
+        let key = lit_value(lit);
+        Ok(match op {
+            crate::ast::CmpOp::Eq => self.catalog.index_lookup(class, attr, &key)?,
+            crate::ast::CmpOp::Lt => {
+                self.catalog
+                    .index_range(class, attr, None, Some((&key, false)))?
+            }
+            crate::ast::CmpOp::Le => {
+                self.catalog
+                    .index_range(class, attr, None, Some((&key, true)))?
+            }
+            crate::ast::CmpOp::Gt => {
+                self.catalog
+                    .index_range(class, attr, Some((&key, false)), None)?
+            }
+            crate::ast::CmpOp::Ge => {
+                self.catalog
+                    .index_range(class, attr, Some((&key, true)), None)?
+            }
+            crate::ast::CmpOp::Ne => {
+                return Err(SqlError::Exec("<> cannot be index-served".into()))
+            }
+        })
+    }
+
+    /// Execute one implicit join following the plan's method.
+    fn exec_join(
+        &self,
+        left_rows: Vec<Row>,
+        right: &Plan,
+        method: JoinMethod,
+        condition: &str,
+        lowered: &Lowered,
+        temps: &HashMap<String, Vec<Row>>,
+    ) -> Result<Vec<Row>> {
+        // Condition shape: "x.attr = y.self".
+        let (lhs, rhs) = condition
+            .split_once(" = ")
+            .ok_or_else(|| SqlError::Exec(format!("unsupported join condition: {condition}")))?;
+        let (x_var, attr) = lhs
+            .split_once('.')
+            .ok_or_else(|| SqlError::Exec(format!("bad join lhs: {lhs}")))?;
+        let y_var = rhs
+            .strip_suffix(".self")
+            .ok_or_else(|| SqlError::Exec(format!("bad join rhs: {rhs}")))?;
+
+        // Describe the right side.
+        let right_side = match right {
+            Plan::Bind { class, .. } => RightSideImpl::Class {
+                class: class.clone(),
+                filter: None,
+            },
+            Plan::Select { input, predicate } => {
+                if let Plan::Bind { class, .. } = &**input {
+                    RightSideImpl::Class {
+                        class: class.clone(),
+                        filter: Some(parse_expr(
+                            predicate.strip_prefix("__join__ ").unwrap_or(predicate),
+                        )?),
+                    }
+                } else {
+                    let rows = self.exec_plan(right, lowered, temps)?;
+                    RightSideImpl::Rows(key_rows_by(&rows, y_var))
+                }
+            }
+            other => {
+                let rows = self.exec_plan(other, lowered, temps)?;
+                RightSideImpl::Rows(key_rows_by(&rows, y_var))
+            }
+        };
+
+        // For backward traversal and the binary join index the right side
+        // is materialized up front (the scan/probe source).
+        let right_side = match (method, right_side) {
+            (
+                JoinMethod::BackwardTraversal | JoinMethod::BinaryJoinIndex,
+                RightSideImpl::Class { class, filter },
+            ) => {
+                let mut map: HashMap<Oid, Vec<Row>> = HashMap::new();
+                for (oid, value) in self.catalog.extent(&class)? {
+                    let mut row = Row::new();
+                    row.insert(
+                        y_var.to_string(),
+                        BoundObj {
+                            oid: Some(oid),
+                            value,
+                        },
+                    );
+                    if let Some(f) = &filter {
+                        if !self.eval_pred(f, &row)? {
+                            continue;
+                        }
+                    }
+                    map.entry(oid).or_default().push(row);
+                }
+                RightSideImpl::Rows(map)
+            }
+            (_, rs) => rs,
+        };
+
+        let mut out = Vec::new();
+        match method {
+            JoinMethod::BinaryJoinIndex => {
+                let RightSideImpl::Rows(map) = &right_side else {
+                    unreachable!()
+                };
+                // Left class from the first bound object.
+                let left_class = left_rows
+                    .iter()
+                    .find_map(|r| r.get(x_var).and_then(|b| b.oid))
+                    .map(|oid| self.catalog.get_object(oid).map(|(c, _)| c))
+                    .transpose()?;
+                let Some(left_class) = left_class else {
+                    return Ok(out);
+                };
+                let mut left_by_oid: HashMap<Oid, Vec<&Row>> = HashMap::new();
+                for r in &left_rows {
+                    if let Some(oid) = r.get(x_var).and_then(|b| b.oid) {
+                        left_by_oid.entry(oid).or_default().push(r);
+                    }
+                }
+                let mut keys: Vec<&Oid> = map.keys().collect();
+                keys.sort();
+                for y_oid in keys {
+                    for l_oid in
+                        self.catalog
+                            .index_lookup(&left_class, attr, &Value::Ref(*y_oid))?
+                    {
+                        if let Some(lrows) = left_by_oid.get(&l_oid) {
+                            for l in lrows {
+                                for r in &map[y_oid] {
+                                    let mut merged = (*l).clone();
+                                    merged.extend(r.clone());
+                                    out.push(merged);
+                                }
+                            }
+                        }
+                    }
+                }
+                out.sort_by_key(|r| r.get(x_var).and_then(|b| b.oid));
+            }
+            JoinMethod::HashPartition => {
+                // Partition: group left rows by referenced OID; fetch each
+                // distinct target once.
+                let mut partitions: BTreeMap<Oid, Vec<usize>> = BTreeMap::new();
+                for (i, row) in left_rows.iter().enumerate() {
+                    for oid in self.row_refs(row, x_var, attr)? {
+                        partitions.entry(oid).or_default().push(i);
+                    }
+                }
+                for (oid, members) in partitions {
+                    let matches = right_side.resolve(self, oid, y_var)?;
+                    for r in matches {
+                        for &i in &members {
+                            let mut merged = left_rows[i].clone();
+                            merged.extend(r.clone());
+                            out.push(merged);
+                        }
+                    }
+                }
+                out.sort_by_key(|r| r.get(x_var).and_then(|b| b.oid));
+            }
+            JoinMethod::ForwardTraversal | JoinMethod::BackwardTraversal => {
+                for row in &left_rows {
+                    for oid in self.row_refs(row, x_var, attr)? {
+                        let matches = right_side.resolve(self, oid, y_var)?;
+                        for r in matches {
+                            let mut merged = row.clone();
+                            merged.extend(r);
+                            out.push(merged);
+                        }
+                    }
+                }
+            }
+        }
+        return Ok(out);
+
+        fn key_rows_by(rows: &[Row], var: &str) -> HashMap<Oid, Vec<Row>> {
+            let mut map: HashMap<Oid, Vec<Row>> = HashMap::new();
+            for r in rows {
+                if let Some(oid) = r.get(var).and_then(|b| b.oid) {
+                    map.entry(oid).or_default().push(r.clone());
+                }
+            }
+            map
+        }
+    }
+
+    /// The reference OIDs of `row[var].attr`.
+    fn row_refs(&self, row: &Row, var: &str, attr: &str) -> Result<Vec<Oid>> {
+        let Some(bound) = row.get(var) else {
+            return Ok(Vec::new());
+        };
+        Ok(match bound.value.field(attr) {
+            Some(Value::Ref(oid)) => vec![*oid],
+            Some(Value::Set(items)) | Some(Value::List(items)) => {
+                items.iter().filter_map(|i| i.as_oid()).collect()
+            }
+            _ => Vec::new(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Expression evaluation
+    // ------------------------------------------------------------------
+
+    /// Evaluate an expression against a row.
+    pub fn eval_expr(&self, e: &Expr, row: &Row) -> Result<Value> {
+        Ok(match e {
+            Expr::Literal(l) => lit_value(l),
+            Expr::Path(p) => self.eval_path(p, row)?,
+            Expr::MethodCall { base, method, args } => {
+                let mut arg_vals = Vec::with_capacity(args.len());
+                for a in args {
+                    arg_vals.push(self.eval_expr(a, row)?);
+                }
+                // Resolve the receiver: the path must end at a stored
+                // object (a Ref or the variable itself).
+                let receiver_oid = if base.segments.is_empty() {
+                    row.get(&base.var).and_then(|b| b.oid)
+                } else {
+                    self.eval_path(base, row)?.as_oid()
+                };
+                let Some(oid) = receiver_oid else {
+                    return Err(SqlError::Exec(format!(
+                        "method {method}() needs a stored receiver ({} unresolved)",
+                        base.render()
+                    )));
+                };
+                self.funcman.invoke(oid, method, &arg_vals)?
+            }
+            Expr::Agg { .. } => {
+                return Err(SqlError::Exec("aggregate outside GROUP BY context".into()))
+            }
+            Expr::Compare { op, left, right } => {
+                let l = self.eval_expr(left, row)?;
+                let r = self.eval_expr(right, row)?;
+                if l.is_null() || r.is_null() {
+                    return Ok(Value::Null);
+                }
+                match l.compare(&r) {
+                    Some(ord) => Value::Boolean(match op {
+                        crate::ast::CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                        crate::ast::CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                        crate::ast::CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                        crate::ast::CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                        crate::ast::CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                        crate::ast::CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                    }),
+                    None => return Err(SqlError::Exec(format!("cannot compare {l} with {r}"))),
+                }
+            }
+            Expr::Between { expr, lo, hi } => {
+                let v = self.eval_expr(expr, row)?;
+                let lo = self.eval_expr(lo, row)?;
+                let hi = self.eval_expr(hi, row)?;
+                if v.is_null() || lo.is_null() || hi.is_null() {
+                    return Ok(Value::Null);
+                }
+                let ge = v.compare(&lo).map(|o| o != std::cmp::Ordering::Less);
+                let le = v.compare(&hi).map(|o| o != std::cmp::Ordering::Greater);
+                match (ge, le) {
+                    (Some(a), Some(b)) => Value::Boolean(a && b),
+                    _ => return Err(SqlError::Exec("BETWEEN on incomparable values".into())),
+                }
+            }
+            Expr::And(parts) => {
+                let mut saw_null = false;
+                for p in parts {
+                    match self.eval_expr(p, row)? {
+                        Value::Boolean(false) => return Ok(Value::Boolean(false)),
+                        Value::Boolean(true) => {}
+                        Value::Null => saw_null = true,
+                        other => {
+                            return Err(SqlError::Exec(format!("AND over non-Boolean {other}")))
+                        }
+                    }
+                }
+                if saw_null {
+                    Value::Null
+                } else {
+                    Value::Boolean(true)
+                }
+            }
+            Expr::Or(parts) => {
+                let mut saw_null = false;
+                for p in parts {
+                    match self.eval_expr(p, row)? {
+                        Value::Boolean(true) => return Ok(Value::Boolean(true)),
+                        Value::Boolean(false) => {}
+                        Value::Null => saw_null = true,
+                        other => {
+                            return Err(SqlError::Exec(format!("OR over non-Boolean {other}")))
+                        }
+                    }
+                }
+                if saw_null {
+                    Value::Null
+                } else {
+                    Value::Boolean(false)
+                }
+            }
+            Expr::Not(inner) => match self.eval_expr(inner, row)? {
+                Value::Boolean(b) => Value::Boolean(!b),
+                Value::Null => Value::Null,
+                other => return Err(SqlError::Exec(format!("NOT over non-Boolean {other}"))),
+            },
+            Expr::Arith { op, left, right } => {
+                let l = OperandDataType::from_value(&self.eval_expr(left, row)?)?;
+                let r = OperandDataType::from_value(&self.eval_expr(right, row)?)?;
+                let out = match op {
+                    '+' => l.add(&r)?,
+                    '-' => l.sub(&r)?,
+                    '*' => l.mul(&r)?,
+                    '/' => l.div(&r)?,
+                    '%' => l.rem(&r)?,
+                    other => return Err(SqlError::Exec(format!("unknown operator {other}"))),
+                };
+                out.into_value()
+            }
+        })
+    }
+
+    /// Evaluate a path against a row, dereferencing through the catalog.
+    fn eval_path(&self, p: &PathRef, row: &Row) -> Result<Value> {
+        let Some(bound) = row.get(&p.var) else {
+            return Err(SqlError::Exec(format!("unbound range variable {}", p.var)));
+        };
+        if p.segments.is_empty() {
+            return Ok(match bound.oid {
+                Some(oid) => Value::Ref(oid),
+                None => bound.value.clone(),
+            });
+        }
+        let mut cur = bound.value.clone();
+        for seg in &p.segments {
+            loop {
+                match cur {
+                    Value::Ref(oid) => {
+                        let (_, v) = self.catalog.get_object(oid)?;
+                        cur = v;
+                    }
+                    Value::Null => return Ok(Value::Null),
+                    _ => break,
+                }
+            }
+            cur = match cur.field(seg) {
+                Some(v) => v.clone(),
+                // Schema evolution: objects stored before an attribute was
+                // added read it as NULL (the binder already validated that
+                // the attribute exists in the schema).
+                None => match &cur {
+                    Value::Tuple(_) => Value::Null,
+                    other => {
+                        return Err(SqlError::Exec(format!(
+                            "no attribute {seg} on {} (path {}, value {other})",
+                            p.var,
+                            p.render()
+                        )))
+                    }
+                },
+            };
+        }
+        Ok(cur)
+    }
+
+    /// Predicate evaluation: Null (unknown) filters out, per SQL.
+    pub fn eval_pred(&self, e: &Expr, row: &Row) -> Result<bool> {
+        Ok(matches!(self.eval_expr(e, row)?, Value::Boolean(true)))
+    }
+
+    // ------------------------------------------------------------------
+    // Grouping and aggregates
+    // ------------------------------------------------------------------
+
+    fn group_rows(&self, rows: &[Row], group_by: &[PathRef]) -> Result<Vec<Vec<Row>>> {
+        if group_by.is_empty() {
+            return Ok(vec![rows.to_vec()]);
+        }
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        let mut groups: Vec<Vec<Row>> = Vec::new();
+        for row in rows {
+            let mut key = Vec::new();
+            for g in group_by {
+                key.extend(encode_value(&self.eval_path(g, row)?));
+                key.push(0xFE);
+            }
+            match keys.iter().position(|k| *k == key) {
+                Some(i) => groups[i].push(row.clone()),
+                None => {
+                    keys.push(key);
+                    groups.push(vec![row.clone()]);
+                }
+            }
+        }
+        Ok(groups)
+    }
+
+    fn eval_group_expr(&self, e: &Expr, group: &[Row]) -> Result<Value> {
+        match e {
+            Expr::Agg { func, arg } => self.eval_agg(*func, arg.as_deref(), group),
+            other => {
+                let Some(first) = group.first() else {
+                    return Ok(Value::Null);
+                };
+                self.eval_expr(other, first)
+            }
+        }
+    }
+
+    fn eval_group_pred(&self, e: &Expr, group: &[Row]) -> Result<bool> {
+        // HAVING predicates may mix aggregates and group keys: evaluate
+        // comparisons with group-aware operands.
+        match e {
+            Expr::And(parts) => {
+                for p in parts {
+                    if !self.eval_group_pred(p, group)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            Expr::Or(parts) => {
+                for p in parts {
+                    if self.eval_group_pred(p, group)? {
+                        return Ok(true);
+                    }
+                }
+                Ok(false)
+            }
+            Expr::Not(inner) => Ok(!self.eval_group_pred(inner, group)?),
+            Expr::Compare { op, left, right } => {
+                let l = self.eval_group_expr(left, group)?;
+                let r = self.eval_group_expr(right, group)?;
+                if l.is_null() || r.is_null() {
+                    return Ok(false);
+                }
+                let Some(ord) = l.compare(&r) else {
+                    return Err(SqlError::Exec(format!("cannot compare {l} with {r}")));
+                };
+                Ok(match op {
+                    crate::ast::CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                    crate::ast::CmpOp::Ne => ord != std::cmp::Ordering::Equal,
+                    crate::ast::CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                    crate::ast::CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                    crate::ast::CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                    crate::ast::CmpOp::Ge => ord != std::cmp::Ordering::Less,
+                })
+            }
+            other => {
+                let Some(first) = group.first() else {
+                    return Ok(false);
+                };
+                self.eval_pred(other, first)
+            }
+        }
+    }
+
+    fn eval_agg(&self, func: AggFunc, arg: Option<&Expr>, group: &[Row]) -> Result<Value> {
+        if func == AggFunc::Count && arg.is_none() {
+            return Ok(Value::Integer(group.len() as i32));
+        }
+        let arg =
+            arg.ok_or_else(|| SqlError::Exec(format!("{}() requires an argument", func.name())))?;
+        let mut nums = Vec::new();
+        let mut count = 0usize;
+        for row in group {
+            let v = self.eval_expr(arg, row)?;
+            if v.is_null() {
+                continue;
+            }
+            count += 1;
+            if let Some(x) = v.as_f64() {
+                nums.push(x);
+            } else if func != AggFunc::Count {
+                return Err(SqlError::Exec(format!(
+                    "{}() over non-numeric value {v}",
+                    func.name()
+                )));
+            }
+        }
+        Ok(match func {
+            AggFunc::Count => Value::Integer(count as i32),
+            AggFunc::Sum => Value::Float(nums.iter().sum()),
+            AggFunc::Avg => {
+                if nums.is_empty() {
+                    Value::Null
+                } else {
+                    Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+                }
+            }
+            AggFunc::Min => nums
+                .iter()
+                .copied()
+                .fold(None::<f64>, |acc, x| Some(acc.map_or(x, |a| a.min(x))))
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
+            AggFunc::Max => nums
+                .iter()
+                .copied()
+                .fold(None::<f64>, |acc, x| Some(acc.map_or(x, |a| a.max(x))))
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
+        })
+    }
+
+    fn sort_rows(&self, rows: &mut [Row], order_by: &[(PathRef, bool)]) -> Result<()> {
+        // Precompute keys (evaluation may deref; do it once per row).
+        let mut keyed: Vec<(usize, Vec<Value>)> = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let mut keys = Vec::new();
+            for (p, _) in order_by {
+                keys.push(self.eval_path(p, row)?);
+            }
+            keyed.push((i, keys));
+        }
+        keyed.sort_by(|(_, a), (_, b)| {
+            for (k, (_, asc)) in order_by.iter().enumerate() {
+                let ord = a[k].compare(&b[k]).unwrap_or(std::cmp::Ordering::Equal);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let permuted: Vec<Row> = keyed.iter().map(|(i, _)| rows[*i].clone()).collect();
+        rows.clone_from_slice(&permuted);
+        Ok(())
+    }
+}
+
+/// The two right-side shapes of `exec_join`.
+enum RightSideImpl {
+    /// Unmaterialized class with an optional residual filter.
+    Class { class: String, filter: Option<Expr> },
+    /// Materialized rows keyed by the right variable's OID.
+    Rows(HashMap<Oid, Vec<Row>>),
+}
+
+impl RightSideImpl {
+    fn resolve(&self, ex: &Executor<'_>, oid: Oid, y_var: &str) -> Result<Vec<Row>> {
+        match self {
+            RightSideImpl::Rows(map) => Ok(map.get(&oid).cloned().unwrap_or_default()),
+            RightSideImpl::Class { class, filter } => {
+                let Ok((obj_class, value)) = ex.catalog.get_object(oid) else {
+                    return Ok(Vec::new()); // dangling reference: no pair
+                };
+                if !ex.catalog.is_subclass(&obj_class, class) {
+                    return Ok(Vec::new());
+                }
+                let mut row = Row::new();
+                row.insert(
+                    y_var.to_string(),
+                    BoundObj {
+                        oid: Some(oid),
+                        value,
+                    },
+                );
+                if let Some(f) = filter {
+                    if !ex.eval_pred(f, &row)? {
+                        return Ok(Vec::new());
+                    }
+                }
+                Ok(vec![row])
+            }
+        }
+    }
+}
+
+fn lit_value(l: &Lit) -> Value {
+    match l {
+        Lit::Int(i) => {
+            if let Ok(v) = i32::try_from(*i) {
+                Value::Integer(v)
+            } else {
+                Value::LongInteger(*i)
+            }
+        }
+        Lit::Float(x) => Value::Float(*x),
+        Lit::Str(s) => Value::String(s.clone()),
+        Lit::Bool(b) => Value::Boolean(*b),
+        Lit::Null => Value::Null,
+    }
+}
+
+fn flatten_and(e: &Expr) -> Vec<&Expr> {
+    match e {
+        Expr::And(parts) => parts.iter().flat_map(flatten_and).collect(),
+        other => vec![other],
+    }
+}

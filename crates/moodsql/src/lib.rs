@@ -1,0 +1,813 @@
+//! # mood-sql — MOODSQL
+//!
+//! The SQL-like object-oriented query language of Section 3, executed
+//! through the Section 7/8 optimizer: lexer ([`token`]), parser
+//! ([`parser`]), binder ([`binder`], including the explicit-join → path
+//! rewrite), plan executor ([`exec`]) and the Section 9.4 cursor mechanism
+//! ([`cursor`]). [`Session`] is the statement-level entry point the kernel
+//! facade (mood-core) wraps.
+
+pub mod ast;
+pub mod binder;
+pub mod cursor;
+pub mod error;
+pub mod exec;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    CmpOp, CreateClass, Expr, FromItem, Lit, MethodDecl, PathRef, SelectStmt, Statement,
+};
+pub use binder::{lower, Lowered};
+pub use cursor::Cursor;
+pub use error::{Result, SqlError};
+pub use exec::{BoundObj, Executor, QueryResult, Row};
+pub use parser::{parse, parse_expr};
+
+use std::sync::Arc;
+
+use mood_catalog::{Catalog, ClassBuilder, IndexKind, MethodSig};
+use mood_datamodel::Value;
+use mood_funcman::FunctionManager;
+use mood_optimizer::OptimizerConfig;
+
+/// What a statement produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Answer {
+    /// SELECT results.
+    Rows(QueryResult),
+    /// EXPLAIN output (plan text in the paper's notation).
+    Plan(String),
+    /// A created object's reference.
+    Created(Value),
+    /// DDL/DML acknowledgements with an affected-count where meaningful.
+    Done { affected: usize },
+}
+
+/// A MOODSQL session: parse + dispatch statements against a catalog and a
+/// function manager.
+pub struct Session {
+    catalog: Arc<Catalog>,
+    funcman: Arc<FunctionManager>,
+    config: OptimizerConfig,
+    last_trace: Vec<String>,
+}
+
+impl Session {
+    pub fn new(catalog: Arc<Catalog>, funcman: Arc<FunctionManager>) -> Session {
+        Session {
+            catalog,
+            funcman,
+            config: OptimizerConfig::default(),
+            last_trace: Vec::new(),
+        }
+    }
+
+    pub fn with_config(mut self, config: OptimizerConfig) -> Session {
+        self.config = config;
+        self
+    }
+
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Execution-stage trace of the last SELECT (Figure 7.1/7.2 tests).
+    pub fn last_trace(&self) -> &[String] {
+        &self.last_trace
+    }
+
+    /// Parse and execute one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<Answer> {
+        let stmt = parse(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Execute a SELECT and wrap the result in a cursor.
+    pub fn query(&mut self, sql: &str) -> Result<Cursor> {
+        match self.execute(sql)? {
+            Answer::Rows(r) => Ok(Cursor::new(r)),
+            other => Err(SqlError::Exec(format!("not a query: {other:?}"))),
+        }
+    }
+
+    pub fn execute_statement(&mut self, stmt: &Statement) -> Result<Answer> {
+        match stmt {
+            Statement::Select(s) => {
+                let ex =
+                    Executor::new(&self.catalog, &self.funcman).with_config(self.config.clone());
+                let rows = ex.run_select(s)?;
+                self.last_trace = ex.trace();
+                Ok(Answer::Rows(rows))
+            }
+            Statement::Explain(s) => {
+                let ex =
+                    Executor::new(&self.catalog, &self.funcman).with_config(self.config.clone());
+                Ok(Answer::Plan(ex.explain(s)?))
+            }
+            Statement::CreateClass(c) => {
+                let mut builder = ClassBuilder::class(&c.name);
+                for (attr, ty) in &c.attributes {
+                    builder = builder.attribute(attr.clone(), ty.clone());
+                }
+                for sup in &c.inherits {
+                    builder = builder.inherits(sup.clone());
+                }
+                for m in &c.methods {
+                    builder = builder.method(MethodSig {
+                        name: m.name.clone(),
+                        return_type: m.returns.clone(),
+                        params: m.params.clone(),
+                    });
+                }
+                self.catalog.define_class(builder)?;
+                Ok(Answer::Done { affected: 0 })
+            }
+            Statement::DropClass(name) => {
+                self.catalog.drop_class(name)?;
+                Ok(Answer::Done { affected: 0 })
+            }
+            Statement::NewObject { class, values } => {
+                // Positional values map onto the effective attributes in
+                // declaration order (the MoodView creation protocol).
+                let attrs = self.catalog.effective_attributes(class)?;
+                if values.len() > attrs.len() {
+                    return Err(SqlError::Exec(format!(
+                        "class {class} has {} attribute(s), {} value(s) given",
+                        attrs.len(),
+                        values.len()
+                    )));
+                }
+                let fields: Vec<(String, Value)> = attrs
+                    .iter()
+                    .zip(
+                        values
+                            .iter()
+                            .map(lit_to_value)
+                            .chain(std::iter::repeat(Value::Null)),
+                    )
+                    .map(|(a, v)| (a.name.clone(), v))
+                    .collect();
+                let oid = self.catalog.new_object(class, Value::Tuple(fields))?;
+                Ok(Answer::Created(Value::Ref(oid)))
+            }
+            Statement::CreateIndex {
+                class,
+                attribute,
+                unique,
+                hash,
+            } => {
+                if attribute.contains('.') {
+                    if *hash {
+                        return Err(SqlError::Exec(
+                            "path indexes are B+-trees (range-capable); HASH not supported".into(),
+                        ));
+                    }
+                    let path: Vec<String> = attribute.split('.').map(str::to_string).collect();
+                    self.catalog.create_path_index(class, &path)?;
+                } else {
+                    let kind = if *hash {
+                        IndexKind::Hash
+                    } else {
+                        IndexKind::BTree
+                    };
+                    self.catalog.create_index(class, attribute, kind, *unique)?;
+                }
+                Ok(Answer::Done { affected: 0 })
+            }
+            Statement::DefineMethod {
+                class,
+                name,
+                params,
+                returns,
+                body,
+            } => {
+                let sig = MethodSig {
+                    name: name.clone(),
+                    return_type: returns.clone(),
+                    params: params.clone(),
+                };
+                self.funcman.define_source(class, sig, body)?;
+                Ok(Answer::Done { affected: 0 })
+            }
+            Statement::DropMethod { class, name } => {
+                self.funcman.delete_method(class, name)?;
+                Ok(Answer::Done { affected: 0 })
+            }
+            Statement::Delete {
+                class,
+                var,
+                where_clause,
+            } => {
+                let ex =
+                    Executor::new(&self.catalog, &self.funcman).with_config(self.config.clone());
+                let extent = self.catalog.extent(class)?;
+                let mut doomed = Vec::new();
+                for (oid, value) in extent {
+                    let mut row = Row::new();
+                    row.insert(
+                        var.clone(),
+                        BoundObj {
+                            oid: Some(oid),
+                            value,
+                        },
+                    );
+                    let keep = match where_clause {
+                        Some(w) => ex.eval_pred(w, &row)?,
+                        None => true,
+                    };
+                    if keep {
+                        doomed.push(oid);
+                    }
+                }
+                for oid in &doomed {
+                    self.catalog.delete_object(*oid)?;
+                }
+                Ok(Answer::Done {
+                    affected: doomed.len(),
+                })
+            }
+            Statement::Update {
+                class,
+                var,
+                assignments,
+                where_clause,
+            } => {
+                let ex =
+                    Executor::new(&self.catalog, &self.funcman).with_config(self.config.clone());
+                // Validate target attributes up front.
+                let attrs = self.catalog.effective_attributes(class)?;
+                for (a, _) in assignments {
+                    if !attrs.iter().any(|x| &x.name == a) {
+                        return Err(SqlError::Bind(format!(
+                            "class {class} has no attribute {a}"
+                        )));
+                    }
+                }
+                let extent = self.catalog.extent(class)?;
+                let mut affected = 0;
+                for (oid, value) in extent {
+                    let mut row = Row::new();
+                    row.insert(
+                        var.clone(),
+                        BoundObj {
+                            oid: Some(oid),
+                            value: value.clone(),
+                        },
+                    );
+                    let hit = match where_clause {
+                        Some(w) => ex.eval_pred(w, &row)?,
+                        None => true,
+                    };
+                    if !hit {
+                        continue;
+                    }
+                    let mut new_value = value;
+                    for (a, e) in assignments {
+                        let v = ex.eval_expr(e, &row)?;
+                        new_value.set_field(a, v);
+                    }
+                    self.catalog.update_object(oid, new_value)?;
+                    affected += 1;
+                }
+                Ok(Answer::Done { affected })
+            }
+        }
+    }
+}
+
+fn lit_to_value(l: &Lit) -> Value {
+    match l {
+        Lit::Int(i) => {
+            if let Ok(v) = i32::try_from(*i) {
+                Value::Integer(v)
+            } else {
+                Value::LongInteger(*i)
+            }
+        }
+        Lit::Float(x) => Value::Float(*x),
+        Lit::Str(s) => Value::String(s.clone()),
+        Lit::Bool(b) => Value::Boolean(*b),
+        Lit::Null => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mood_storage::StorageManager;
+
+    /// A session with the paper's Section 3.1 schema and a small database.
+    fn session() -> Session {
+        let sm = Arc::new(StorageManager::in_memory());
+        let catalog = Arc::new(Catalog::create(sm).unwrap());
+        let funcman = Arc::new(FunctionManager::new(catalog.clone()));
+        let mut s = Session::new(catalog, funcman);
+        for ddl in [
+            "CREATE CLASS VehicleEngine TUPLE (size Integer, cylinders Integer)",
+            "CREATE CLASS VehicleDriveTrain TUPLE (engine REFERENCE (VehicleEngine), \
+             transmission String(32))",
+            "CREATE CLASS Employee TUPLE (ssno Integer, name String(32), age Integer)",
+            "CREATE CLASS Company TUPLE (name String(32), location String(32), \
+             president REFERENCE (Employee))",
+            "CREATE CLASS Vehicle TUPLE (id Integer, weight Integer, \
+             drivetrain REFERENCE (VehicleDriveTrain), manufacturer REFERENCE (Company)) \
+             METHODS: lbweight () Float,",
+            "CREATE CLASS Automobile INHERITS FROM Vehicle",
+            "CREATE CLASS JapaneseAuto INHERITS FROM Automobile",
+        ] {
+            s.execute(ddl).unwrap();
+        }
+        s
+    }
+
+    fn oid_of(a: &Answer) -> String {
+        let Answer::Created(Value::Ref(oid)) = a else {
+            panic!("not a ref: {a:?}")
+        };
+        oid.to_string()
+    }
+
+    /// Populate engines/drivetrains/companies/cars; returns #cars.
+    fn populate(s: &mut Session) -> usize {
+        // Engines: cylinders 2,4,6,8 cycling.
+        let mut engines = Vec::new();
+        for i in 0..8 {
+            let a = s
+                .execute(&format!(
+                    "new VehicleEngine <{}, {}>",
+                    1000 + i * 100,
+                    2 + (i % 4) * 2
+                ))
+                .unwrap();
+            let Answer::Created(v) = a else { panic!() };
+            engines.push(v);
+        }
+        // Drivetrains referencing engines — built through the catalog
+        // because `new` takes literals only.
+        let catalog = s.catalog().clone();
+        let mut trains = Vec::new();
+        for (i, e) in engines.iter().enumerate() {
+            let oid = catalog
+                .new_object(
+                    "VehicleDriveTrain",
+                    Value::tuple(vec![
+                        ("engine", e.clone()),
+                        (
+                            "transmission",
+                            Value::string(if i % 2 == 0 { "AUTOMATIC" } else { "MANUAL" }),
+                        ),
+                    ]),
+                )
+                .unwrap();
+            trains.push(Value::Ref(oid));
+        }
+        let bmw = catalog
+            .new_object(
+                "Company",
+                Value::tuple(vec![
+                    ("name", Value::string("BMW")),
+                    ("location", Value::string("Munich")),
+                ]),
+            )
+            .unwrap();
+        let toyota = catalog
+            .new_object(
+                "Company",
+                Value::tuple(vec![
+                    ("name", Value::string("Toyota")),
+                    ("location", Value::string("Aichi")),
+                ]),
+            )
+            .unwrap();
+        let mut n = 0;
+        for i in 0..16 {
+            let (class, company) = if i % 4 == 0 {
+                ("JapaneseAuto", toyota)
+            } else if i % 2 == 0 {
+                ("Automobile", bmw)
+            } else {
+                ("Vehicle", bmw)
+            };
+            catalog
+                .new_object(
+                    class,
+                    Value::tuple(vec![
+                        ("id", Value::Integer(i)),
+                        ("weight", Value::Integer(900 + i * 50)),
+                        ("drivetrain", trains[i as usize % trains.len()].clone()),
+                        ("manufacturer", Value::Ref(company)),
+                    ]),
+                )
+                .unwrap();
+            n += 1;
+        }
+        catalog.collect_stats().unwrap();
+        n
+    }
+
+    #[test]
+    fn ddl_new_and_simple_select() {
+        let mut s = session();
+        let a = s
+            .execute("new Employee <1, 'Budak Arpinar', 1969>")
+            .unwrap();
+        assert!(oid_of(&a).contains(':'));
+        let Answer::Rows(r) = s
+            .execute("SELECT e.name FROM Employee e WHERE e.ssno = 1")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.rows, vec![vec![Value::string("Budak Arpinar")]]);
+    }
+
+    #[test]
+    fn immediate_selection_and_projection() {
+        let mut s = session();
+        populate(&mut s);
+        let Answer::Rows(r) = s
+            .execute("SELECT v.id, v.weight FROM Vehicle v WHERE v.weight >= 1500 ORDER BY v.id")
+            .unwrap()
+        else {
+            panic!()
+        };
+        // weights 900..1650 step 50; >= 1500 → ids 12..15, but only the
+        // Vehicle extent itself (no EVERY): odd ids 13, 15.
+        assert_eq!(r.columns, vec!["v.id", "v.weight"]);
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::Integer(13), Value::Integer(1550)],
+                vec![Value::Integer(15), Value::Integer(1650)],
+            ]
+        );
+    }
+
+    #[test]
+    fn every_and_minus_semantics() {
+        let mut s = session();
+        populate(&mut s);
+        let count = |s: &mut Session, q: &str| -> usize {
+            let Answer::Rows(r) = s.execute(q).unwrap() else {
+                panic!()
+            };
+            r.len()
+        };
+        assert_eq!(count(&mut s, "SELECT v FROM Vehicle v"), 8);
+        assert_eq!(count(&mut s, "SELECT v FROM EVERY Vehicle v"), 16);
+        assert_eq!(count(&mut s, "SELECT v FROM EVERY Automobile v"), 8);
+        assert_eq!(
+            count(&mut s, "SELECT v FROM EVERY Automobile - JapaneseAuto v"),
+            4
+        );
+    }
+
+    #[test]
+    fn path_expression_query() {
+        let mut s = session();
+        populate(&mut s);
+        let Answer::Rows(r) = s
+            .execute(
+                "SELECT v.id FROM EVERY Vehicle v \
+                 WHERE v.drivetrain.engine.cylinders = 2 ORDER BY v.id",
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        // Engines with 2 cylinders: engine indexes 0 and 4 → drivetrains
+        // 0,4 → cars with i % 8 ∈ {0,4} → ids 0,4,8,12.
+        let ids: Vec<i32> = r
+            .rows
+            .iter()
+            .map(|row| match &row[0] {
+                Value::Integer(i) => *i,
+                other => panic!("{other}"),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn paper_section_3_1_query_executes() {
+        let mut s = session();
+        populate(&mut s);
+        let Answer::Rows(r) = s
+            .execute(
+                "SELECT c FROM EVERY Automobile - JapaneseAuto c, VehicleEngine v \
+                 WHERE c.drivetrain.transmission = 'AUTOMATIC' AND \
+                 c.drivetrain.engine = v AND v.cylinders > 4",
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        // Automobiles minus JapaneseAuto: ids 2,6,10,14 → drivetrains
+        // 2,6 (i%8). Automatic: drivetrain index even → 2,6? trains with
+        // i%2==0 are AUTOMATIC → drivetrains 2 and 6 both even → yes.
+        // Cylinders of engines 2,6: 2+(2%4)*2=6; 2+(6%4)*2=6 > 4 ✓ → all 4.
+        assert_eq!(r.len(), 4);
+        // Every result is a reference to an object.
+        assert!(r.rows.iter().all(|row| matches!(row[0], Value::Ref(_))));
+    }
+
+    #[test]
+    fn disjunction_unions_and_terms() {
+        let mut s = session();
+        populate(&mut s);
+        let Answer::Rows(r) = s
+            .execute(
+                "SELECT v.id FROM Vehicle v WHERE v.weight = 950 OR v.weight = 1050 \
+                 ORDER BY v.id",
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn group_by_having_count() {
+        let mut s = session();
+        populate(&mut s);
+        let Answer::Rows(r) = s
+            .execute(
+                "SELECT v.drivetrain.transmission, COUNT(*) FROM EVERY Vehicle v \
+                 GROUP BY v.drivetrain.transmission HAVING COUNT(*) > 1 \
+                 ORDER BY v.drivetrain.transmission",
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows[0][0], Value::string("AUTOMATIC"));
+        assert_eq!(r.rows[0][1], Value::Integer(8));
+        assert_eq!(r.rows[1][1], Value::Integer(8));
+    }
+
+    #[test]
+    fn method_call_in_where_and_projection() {
+        let mut s = session();
+        populate(&mut s);
+        s.execute("DEFINE METHOD Vehicle::lbweight() RETURNS Float AS 'weight * 2.2075'")
+            .unwrap();
+        let Answer::Rows(r) = s
+            .execute(
+                "SELECT v.id, v.lbweight() FROM Vehicle v WHERE v.lbweight() > 3500 \
+                 ORDER BY v.id",
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        // weight*2.2075 > 3500 → weight > 1585.5 → weights 1650 (id 15).
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Integer(15));
+        let Value::Float(lb) = r.rows[0][1] else {
+            panic!()
+        };
+        assert!((lb - 1650.0 * 2.2075).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explain_returns_plan_text() {
+        let mut s = session();
+        populate(&mut s);
+        let Answer::Plan(p) = s
+            .execute("EXPLAIN SELECT v FROM Vehicle v WHERE v.drivetrain.engine.cylinders = 2")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert!(p.contains("JOIN("), "{p}");
+        assert!(p.contains("BIND(Vehicle, v)"), "{p}");
+        assert!(p.contains("PathSelInfo"), "{p}");
+    }
+
+    #[test]
+    fn execution_trace_follows_figure_7_1() {
+        let mut s = session();
+        populate(&mut s);
+        s.execute(
+            "SELECT v.drivetrain.transmission, COUNT(*) FROM EVERY Vehicle v \
+             WHERE v.weight > 0 AND v.drivetrain.engine.cylinders > 0 \
+             GROUP BY v.drivetrain.transmission HAVING COUNT(*) > 0 \
+             ORDER BY v.drivetrain.transmission",
+        )
+        .unwrap();
+        let trace = s.last_trace().to_vec();
+        let pos = |name: &str| trace.iter().position(|t| t == name);
+        let from = pos("FROM").expect("FROM");
+        let select = pos("WHERE:SELECT").expect("WHERE:SELECT");
+        let join = pos("WHERE:JOIN").expect("WHERE:JOIN");
+        let group = pos("GROUP BY").expect("GROUP BY");
+        let having = pos("HAVING").expect("HAVING");
+        let project = pos("PROJECT").expect("PROJECT");
+        let order = pos("ORDER BY").expect("ORDER BY");
+        // Figure 7.1: FROM → WHERE → GROUP BY → HAVING → SELECT → ORDER BY,
+        // and Figure 7.2 inside WHERE: SELECT before JOIN.
+        assert!(from < select, "{trace:?}");
+        assert!(select < join, "{trace:?}");
+        assert!(join < group, "{trace:?}");
+        assert!(group < having, "{trace:?}");
+        assert!(having < project, "{trace:?}");
+        assert!(project <= order, "{trace:?}");
+    }
+
+    #[test]
+    fn union_runs_after_and_terms_figure_7_2() {
+        let mut s = session();
+        populate(&mut s);
+        s.execute(
+            "SELECT v.id FROM EVERY Vehicle v WHERE \
+             v.drivetrain.engine.cylinders = 2 OR v.weight > 1500",
+        )
+        .unwrap();
+        let trace = s.last_trace().to_vec();
+        let union = trace.iter().position(|t| t == "WHERE:UNION").expect("union ran");
+        let last_select = trace.iter().rposition(|t| t == "WHERE:SELECT").expect("selects ran");
+        let last_join = trace.iter().rposition(|t| t == "WHERE:JOIN").expect("joins ran");
+        // Figure 7.2: UNION is performed after evaluating the AND-terms.
+        assert!(union > last_select, "{trace:?}");
+        assert!(union > last_join, "{trace:?}");
+    }
+
+    #[test]
+    fn delete_where() {
+        let mut s = session();
+        populate(&mut s);
+        let Answer::Done { affected } = s
+            .execute("DELETE FROM Vehicle v WHERE v.weight < 1000")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert!(affected > 0);
+        let Answer::Rows(r) = s.execute("SELECT v FROM Vehicle v").unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.len(), 8 - affected);
+    }
+
+    #[test]
+    fn index_accelerated_query_same_answer() {
+        let mut s = session();
+        populate(&mut s);
+        let q = "SELECT v.id FROM Vehicle v WHERE v.weight = 1250 ORDER BY v.id";
+        let Answer::Rows(before) = s.execute(q).unwrap() else {
+            panic!()
+        };
+        s.execute("CREATE INDEX ON Vehicle(weight)").unwrap();
+        s.catalog().collect_stats().unwrap();
+        let Answer::Rows(after) = s.execute(q).unwrap() else {
+            panic!()
+        };
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn distinct_dedupes() {
+        let mut s = session();
+        populate(&mut s);
+        let Answer::Rows(r) = s
+            .execute("SELECT DISTINCT v.drivetrain.transmission FROM EVERY Vehicle v")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn between_works() {
+        let mut s = session();
+        populate(&mut s);
+        let Answer::Rows(r) = s
+            .execute("SELECT v.id FROM Vehicle v WHERE v.weight BETWEEN 1000 AND 1200")
+            .unwrap()
+        else {
+            panic!()
+        };
+        // Vehicle extent: odd ids 1..15, weights 950+... ids 3 (1050),
+        // 5 (1150): weight = 900 + id*50 ∈ [1000,1200] → ids 3,5.
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn errors_surface_cleanly() {
+        let mut s = session();
+        assert!(s.execute("SELECT v FROM Nothing v").is_err());
+        assert!(s
+            .execute("SELECT v FROM Vehicle v WHERE v.nope = 1")
+            .is_err());
+        assert!(s.execute("totally not sql").is_err());
+        // Error in one statement doesn't poison the session.
+        assert!(s.execute("SELECT v FROM Vehicle v").is_ok());
+    }
+}
+
+#[cfg(test)]
+mod update_tests {
+    use super::*;
+    use mood_storage::StorageManager;
+
+    fn s() -> Session {
+        let sm = Arc::new(StorageManager::in_memory());
+        let catalog = Arc::new(Catalog::create(sm).unwrap());
+        let funcman = Arc::new(FunctionManager::new(catalog.clone()));
+        let mut s = Session::new(catalog, funcman);
+        s.execute("CREATE CLASS Account TUPLE (id Integer, balance Integer, note String)")
+            .unwrap();
+        for i in 0..10 {
+            s.execute(&format!("new Account <{i}, {}, 'x'>", i * 100))
+                .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn update_with_where_and_expression() {
+        let mut s = s();
+        let Answer::Done { affected } = s
+            .execute("UPDATE Account a SET balance = a.balance + 50 WHERE a.id < 3")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(affected, 3);
+        let Answer::Rows(r) = s
+            .execute("SELECT a.balance FROM Account a WHERE a.id = 2")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.rows, vec![vec![Value::Integer(250)]]);
+        // Untouched rows keep their balance.
+        let Answer::Rows(r) = s
+            .execute("SELECT a.balance FROM Account a WHERE a.id = 5")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.rows, vec![vec![Value::Integer(500)]]);
+    }
+
+    #[test]
+    fn update_multiple_assignments_and_strings() {
+        let mut s = s();
+        s.execute("UPDATE Account a SET balance = 0, note = 'frozen' WHERE a.id = 7")
+            .unwrap();
+        let Answer::Rows(r) = s
+            .execute("SELECT a.balance, a.note FROM Account a WHERE a.id = 7")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::Integer(0), Value::string("frozen")]]
+        );
+    }
+
+    #[test]
+    fn update_without_where_touches_all() {
+        let mut s = s();
+        let Answer::Done { affected } = s.execute("UPDATE Account a SET note = 'bulk'").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(affected, 10);
+    }
+
+    #[test]
+    fn update_unknown_attribute_rejected() {
+        let mut s = s();
+        assert!(s.execute("UPDATE Account a SET bogus = 1").is_err());
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let mut s = s();
+        s.execute("CREATE INDEX ON Account(balance)").unwrap();
+        s.execute("UPDATE Account a SET balance = 9999 WHERE a.id = 4")
+            .unwrap();
+        s.catalog().collect_stats().unwrap();
+        let Answer::Rows(r) = s
+            .execute("SELECT a.id FROM Account a WHERE a.balance = 9999")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.rows, vec![vec![Value::Integer(4)]]);
+        let Answer::Rows(r) = s
+            .execute("SELECT a.id FROM Account a WHERE a.balance = 400")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert!(r.rows.is_empty(), "old index entry removed");
+    }
+}

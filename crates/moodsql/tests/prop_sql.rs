@@ -1,0 +1,136 @@
+//! Property tests for MOODSQL: expression render → parse round-trip, and
+//! lexer totality on printable input.
+
+use proptest::prelude::*;
+
+use mood_sql::ast::{AggFunc, CmpOp, Expr, Lit, PathRef};
+use mood_sql::{parse_expr, Statement};
+
+fn arb_path() -> impl Strategy<Value = PathRef> {
+    // Identifiers prefixed with 'q' so generated names can never collide
+    // with MOODSQL keywords (OR, AND, SET, …).
+    (
+        "q[a-z0-9]{0,4}",
+        proptest::collection::vec("q[a-z0-9]{0,6}", 0..3),
+    )
+        .prop_map(|(var, segments)| PathRef { var, segments })
+}
+
+fn arb_lit() -> impl Strategy<Value = Lit> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Lit::Int(i as i64)),
+        // Floats whose Display form re-lexes as a float literal.
+        (1i32..10_000, 1u32..100).prop_map(|(a, b)| Lit::Float(a as f64 + b as f64 / 100.0)),
+        "[a-zA-Z0-9 ]{0,10}".prop_map(Lit::Str),
+        any::<bool>().prop_map(Lit::Bool),
+        Just(Lit::Null),
+    ]
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// Boolean expressions whose rendering is unambiguous under the parser's
+/// precedence (comparisons over paths/literals, composed with AND/OR/NOT).
+fn arb_bool_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (arb_cmp(), arb_path(), arb_lit()).prop_map(|(op, p, l)| Expr::Compare {
+        op,
+        left: Box::new(Expr::Path(p)),
+        right: Box::new(Expr::Literal(l)),
+    });
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::And),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::Or),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+/// Normalize nested And/Or nesting introduced by re-parsing
+/// (`And([And([a,b]),c])` ≡ `And([a,b,c])`) so round-trips compare
+/// structurally.
+fn normalize(e: &Expr) -> Expr {
+    match e {
+        Expr::And(parts) => {
+            let mut flat = Vec::new();
+            for p in parts {
+                match normalize(p) {
+                    Expr::And(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            if flat.len() == 1 {
+                flat.pop().expect("one")
+            } else {
+                Expr::And(flat)
+            }
+        }
+        Expr::Or(parts) => {
+            let mut flat = Vec::new();
+            for p in parts {
+                match normalize(p) {
+                    Expr::Or(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            if flat.len() == 1 {
+                flat.pop().expect("one")
+            } else {
+                Expr::Or(flat)
+            }
+        }
+        Expr::Not(inner) => Expr::Not(Box::new(normalize(inner))),
+        Expr::Compare { op, left, right } => Expr::Compare {
+            op: *op,
+            left: Box::new(normalize(left)),
+            right: Box::new(normalize(right)),
+        },
+        other => other.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn render_parse_roundtrip(e in arb_bool_expr()) {
+        let text = e.render();
+        let back = parse_expr(&text).unwrap_or_else(|err| {
+            panic!("rendered expression failed to parse: {text}\n{err}")
+        });
+        prop_assert_eq!(normalize(&back), normalize(&e), "text was: {}", text);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_printable_ascii(src in "[ -~]{0,60}") {
+        let _ = mood_sql::parse(&src); // may error, must not panic
+    }
+
+    #[test]
+    fn select_statements_roundtrip_projection(paths in proptest::collection::vec(arb_path(), 1..4)) {
+        let projection: Vec<String> = paths.iter().map(PathRef::render).collect();
+        let sql = format!("SELECT {} FROM Thing t", projection.join(", "));
+        let Statement::Select(s) = mood_sql::parse(&sql).unwrap() else { panic!() };
+        let rendered: Vec<String> = s.projection.iter().map(Expr::render).collect();
+        prop_assert_eq!(rendered, projection);
+    }
+
+    #[test]
+    fn aggregates_roundtrip(func in prop_oneof![
+        Just(AggFunc::Count), Just(AggFunc::Sum), Just(AggFunc::Avg),
+        Just(AggFunc::Min), Just(AggFunc::Max),
+    ], p in arb_path()) {
+        let text = format!("{}({})", func.name(), p.render());
+        let e = parse_expr(&text).unwrap();
+        prop_assert_eq!(e.render(), text);
+    }
+}

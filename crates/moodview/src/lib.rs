@@ -1,0 +1,25 @@
+//! # mood-view — headless MoodView
+//!
+//! The paper's MoodView (Section 9) is an X/Motif GUI; the reproduction
+//! keeps every database-facing behavior and renders to text:
+//!
+//! * [`dag`] — the DAG placement algorithm "that minimizes crossovers" for
+//!   the class-hierarchy browser (Sugiyama layering + barycenter ordering),
+//!   with ASCII and Graphviz DOT renderers;
+//! * [`browse`] — the class-presentation card (Figure 9.2), the generic
+//!   object-graph presentation with reference walking and cycle detection
+//!   (Figure 9.3), and the kernel's name/type/value cursor-buffer protocol
+//!   (Section 9.4);
+//! * [`query_manager`] — the SQL query manager with session history
+//!   (Section 9.3), talking to the kernel exclusively through MOODSQL.
+
+pub mod browse;
+pub mod dag;
+pub mod query_manager;
+
+pub use browse::{
+    hierarchy_layout, object_triplets, render_class_card, render_hierarchy, render_hierarchy_dot,
+    render_method_card, render_object, update_attribute, AttributeTriplet,
+};
+pub use dag::{place, render_ascii, render_dot, Layout, PlacedNode};
+pub use query_manager::{HistoryEntry, QueryManager};

@@ -1,0 +1,139 @@
+//! The query manager — "a query editor with facilities for accessing
+//! previous queries in a session" (Section 9.3), speaking to the kernel
+//! exclusively through SQL (Section 9.4's protocol).
+
+use std::sync::Arc;
+
+use mood_catalog::Catalog;
+use mood_funcman::FunctionManager;
+use mood_sql::{Answer, Cursor, Session, SqlError};
+
+/// One history entry.
+#[derive(Debug, Clone)]
+pub struct HistoryEntry {
+    pub sql: String,
+    pub ok: bool,
+    /// Row count for queries, affected count for DML, 0 for DDL.
+    pub rows: usize,
+}
+
+/// An interactive query-manager session with history.
+pub struct QueryManager {
+    session: Session,
+    history: Vec<HistoryEntry>,
+}
+
+impl QueryManager {
+    pub fn new(catalog: Arc<Catalog>, funcman: Arc<FunctionManager>) -> QueryManager {
+        QueryManager {
+            session: Session::new(catalog, funcman),
+            history: Vec::new(),
+        }
+    }
+
+    /// Run a statement, recording it in the history.
+    pub fn run(&mut self, sql: &str) -> Result<Answer, SqlError> {
+        let result = self.session.execute(sql);
+        let (ok, rows) = match &result {
+            Ok(Answer::Rows(r)) => (true, r.len()),
+            Ok(Answer::Done { affected }) => (true, *affected),
+            Ok(_) => (true, 0),
+            Err(_) => (false, 0),
+        };
+        self.history.push(HistoryEntry {
+            sql: sql.to_string(),
+            ok,
+            rows,
+        });
+        result
+    }
+
+    /// Run a query through a cursor (the object-browser path).
+    pub fn open_cursor(&mut self, sql: &str) -> Result<Cursor, SqlError> {
+        let r = self.run(sql)?;
+        match r {
+            Answer::Rows(rows) => Ok(Cursor::new(rows)),
+            other => Err(SqlError::Exec(format!("not a query: {other:?}"))),
+        }
+    }
+
+    /// Previous queries, newest last.
+    pub fn history(&self) -> &[HistoryEntry] {
+        &self.history
+    }
+
+    /// Re-run the history entry at `index` (the "accessing previous
+    /// queries" facility).
+    pub fn rerun(&mut self, index: usize) -> Result<Answer, SqlError> {
+        let sql = self
+            .history
+            .get(index)
+            .map(|h| h.sql.clone())
+            .ok_or_else(|| SqlError::Exec(format!("no history entry {index}")))?;
+        self.run(&sql)
+    }
+
+    pub fn session(&mut self) -> &mut Session {
+        &mut self.session
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> QueryManager {
+        let sm = Arc::new(mood_storage::StorageManager::in_memory());
+        let catalog = Arc::new(Catalog::create(sm).unwrap());
+        let funcman = Arc::new(FunctionManager::new(catalog.clone()));
+        QueryManager::new(catalog, funcman)
+    }
+
+    #[test]
+    fn history_records_successes_and_failures() {
+        let mut qm = manager();
+        qm.run("CREATE CLASS Employee TUPLE (name String, age Integer)")
+            .unwrap();
+        qm.run("new Employee <'Asuman', 50>").unwrap();
+        let _ = qm.run("SELECT nonsense");
+        qm.run("SELECT e.name FROM Employee e").unwrap();
+        let h = qm.history();
+        assert_eq!(h.len(), 4);
+        assert!(h[0].ok && h[1].ok && !h[2].ok && h[3].ok);
+        assert_eq!(h[3].rows, 1);
+    }
+
+    #[test]
+    fn rerun_previous_query() {
+        let mut qm = manager();
+        qm.run("CREATE CLASS Employee TUPLE (name String, age Integer)")
+            .unwrap();
+        qm.run("new Employee <'Cetin', 40>").unwrap();
+        qm.run("SELECT e FROM Employee e").unwrap();
+        // Add a row, then re-run query #2 (0-based): result grows.
+        qm.run("new Employee <'Budak', 30>").unwrap();
+        let Answer::Rows(r) = qm.rerun(2).unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.len(), 2);
+        assert!(qm.rerun(99).is_err());
+    }
+
+    #[test]
+    fn cursor_walks_results_both_ways() {
+        let mut qm = manager();
+        qm.run("CREATE CLASS Employee TUPLE (name String, age Integer)")
+            .unwrap();
+        for (n, a) in [("a", 1), ("b", 2), ("c", 3)] {
+            qm.run(&format!("new Employee <'{n}', {a}>")).unwrap();
+        }
+        let mut cur = qm
+            .open_cursor("SELECT e.name FROM Employee e ORDER BY e.age")
+            .unwrap();
+        assert_eq!(cur.len(), 3);
+        cur.next();
+        cur.next();
+        let back = cur.prev().unwrap()[0].to_string();
+        assert_eq!(back, "'a'");
+    }
+}

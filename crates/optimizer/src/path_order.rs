@@ -1,0 +1,251 @@
+//! Algorithm 8.1 — the optimum execution order of path expressions.
+//!
+//! Given m path expressions in an AND-term with traversal costs `F_i` and
+//! selectivities `s_i`, the objective is
+//!
+//! ```text
+//! f = F_{i[1]} + s_{i[1]}·F_{i[2]} + s_{i[1]}·s_{i[2]}·F_{i[3]} + …
+//! ```
+//!
+//! The paper's Appendix proves that sorting by ascending `F_i/(1−s_i)`
+//! minimizes `f`; [`order_paths`] implements exactly that, and
+//! [`optimal_order_exhaustive`] provides the brute-force baseline the
+//! property tests and the X4 ablation bench compare against.
+
+/// One path expression's cost/selectivity pair (a PathSelInfo row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathCost {
+    /// `F_i` — forward traversal cost.
+    pub cost: f64,
+    /// `s_i` — selectivity.
+    pub selectivity: f64,
+}
+
+impl PathCost {
+    /// The ranking key `F/(1−s)`; `s = 1` ranks `+∞` (a non-selective path
+    /// can never pay for itself and goes last).
+    pub fn rank(&self) -> f64 {
+        let denom = 1.0 - self.selectivity;
+        if denom <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.cost / denom
+        }
+    }
+}
+
+/// The objective function `f` for a given execution order.
+pub fn objective(paths: &[PathCost], order: &[usize]) -> f64 {
+    let mut total = 0.0;
+    let mut shrink = 1.0;
+    for &i in order {
+        total += shrink * paths[i].cost;
+        shrink *= paths[i].selectivity;
+    }
+    total
+}
+
+/// Algorithm 8.1: indices sorted by ascending `F_i/(1−s_i)`.
+/// Ties keep input order (stable), making plans deterministic.
+pub fn order_paths(paths: &[PathCost]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..paths.len()).collect();
+    idx.sort_by(|&a, &b| {
+        paths[a]
+            .rank()
+            .partial_cmp(&paths[b].rank())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx
+}
+
+/// Brute force: the true minimum over all m! orders (m ≤ 10 guarded).
+pub fn optimal_order_exhaustive(paths: &[PathCost]) -> (Vec<usize>, f64) {
+    assert!(paths.len() <= 10, "exhaustive search is factorial");
+    let mut best_order: Vec<usize> = (0..paths.len()).collect();
+    let mut best = objective(paths, &best_order);
+    let mut order: Vec<usize> = best_order.clone();
+    permute(&mut order, 0, &mut |candidate| {
+        let f = objective(paths, candidate);
+        if f < best {
+            best = f;
+            best_order = candidate.to_vec();
+        }
+    });
+    (best_order, best)
+}
+
+fn permute(items: &mut [usize], k: usize, visit: &mut impl FnMut(&[usize])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_path_base_case_of_the_lemma() {
+        // F1 + s1·F2 < F2 + s2·F1  ⇔  F1/(1−s1) < F2/(1−s2).
+        let a = PathCost {
+            cost: 100.0,
+            selectivity: 0.1,
+        };
+        let b = PathCost {
+            cost: 50.0,
+            selectivity: 0.9,
+        };
+        // rank(a) = 111.1, rank(b) = 500 → a first.
+        assert_eq!(order_paths(&[a, b]), vec![0, 1]);
+        let f_ab = objective(&[a, b], &[0, 1]);
+        let f_ba = objective(&[a, b], &[1, 0]);
+        assert!(f_ab < f_ba, "{f_ab} vs {f_ba}");
+    }
+
+    #[test]
+    fn paper_table_16_ordering() {
+        // P1: F=771.825, s=6.25e-2 → rank 823.28;
+        // P2: F=520.825, s=5.00e-5 → rank 520.85. Order: P2 then P1.
+        let p1 = PathCost {
+            cost: 771.825,
+            selectivity: 6.25e-2,
+        };
+        let p2 = PathCost {
+            cost: 520.825,
+            selectivity: 5.00e-5,
+        };
+        assert!((p1.rank() - 823.28).abs() < 0.01, "{}", p1.rank());
+        assert!((p2.rank() - 520.85).abs() < 0.05, "{}", p2.rank());
+        assert_eq!(order_paths(&[p1, p2]), vec![1, 0], "P2 before P1");
+    }
+
+    #[test]
+    fn objective_accumulates_selectivities() {
+        let paths = [
+            PathCost {
+                cost: 10.0,
+                selectivity: 0.5,
+            },
+            PathCost {
+                cost: 20.0,
+                selectivity: 0.25,
+            },
+        ];
+        // order [0,1]: 10 + 0.5·20 = 20; order [1,0]: 20 + 0.25·10 = 22.5
+        assert_eq!(objective(&paths, &[0, 1]), 20.0);
+        assert_eq!(objective(&paths, &[1, 0]), 22.5);
+    }
+
+    #[test]
+    fn selectivity_one_goes_last() {
+        let paths = [
+            PathCost {
+                cost: 1.0,
+                selectivity: 1.0,
+            },
+            PathCost {
+                cost: 1000.0,
+                selectivity: 0.01,
+            },
+        ];
+        assert_eq!(order_paths(&paths), vec![1, 0]);
+    }
+
+    #[test]
+    fn rank_rule_matches_exhaustive_on_grids() {
+        // Sweep a deterministic grid of (F, s) triples and check the
+        // Appendix lemma: the rank order attains the exhaustive minimum.
+        let costs = [1.0, 10.0, 100.0, 1000.0];
+        let sels = [0.001, 0.1, 0.5, 0.9, 0.999];
+        let mut cases = 0;
+        for &f1 in &costs {
+            for &f2 in &costs {
+                for &f3 in &costs {
+                    for &s1 in &sels {
+                        for &s2 in &sels {
+                            for &s3 in &sels {
+                                let paths = [
+                                    PathCost {
+                                        cost: f1,
+                                        selectivity: s1,
+                                    },
+                                    PathCost {
+                                        cost: f2,
+                                        selectivity: s2,
+                                    },
+                                    PathCost {
+                                        cost: f3,
+                                        selectivity: s3,
+                                    },
+                                ];
+                                let ranked = order_paths(&paths);
+                                let (_, best) = optimal_order_exhaustive(&paths);
+                                let got = objective(&paths, &ranked);
+                                assert!(
+                                    (got - best).abs() <= 1e-9 * best.max(1.0),
+                                    "rank order {got} vs optimal {best} for {paths:?}"
+                                );
+                                cases += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(cases, 4 * 4 * 4 * 5 * 5 * 5);
+    }
+
+    #[test]
+    fn pseudorandom_inputs_match_exhaustive_for_m_up_to_6() {
+        let mut state = 42u64;
+        let mut rnd = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64) / (u32::MAX as f64)
+        };
+        for m in 2..=6 {
+            for _ in 0..30 {
+                let paths: Vec<PathCost> = (0..m)
+                    .map(|_| PathCost {
+                        cost: 1.0 + rnd() * 999.0,
+                        selectivity: rnd().clamp(0.0001, 0.9999),
+                    })
+                    .collect();
+                let ranked = order_paths(&paths);
+                let (_, best) = optimal_order_exhaustive(&paths);
+                let got = objective(&paths, &ranked);
+                assert!(
+                    (got - best).abs() <= 1e-9 * best.max(1.0),
+                    "m={m}: {got} vs {best}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stable_for_equal_ranks() {
+        let paths = [
+            PathCost {
+                cost: 10.0,
+                selectivity: 0.5,
+            },
+            PathCost {
+                cost: 10.0,
+                selectivity: 0.5,
+            },
+            PathCost {
+                cost: 5.0,
+                selectivity: 0.75,
+            },
+        ];
+        // ranks: 20, 20, 20 → input order preserved.
+        assert_eq!(order_paths(&paths), vec![0, 1, 2]);
+    }
+}

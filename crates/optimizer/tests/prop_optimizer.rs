@@ -1,0 +1,120 @@
+//! Property tests for the optimizer's algorithms: DNF logical equivalence
+//! on arbitrary Boolean trees, and the Appendix lemma (F/(1−s) attains the
+//! exhaustive optimum) on random instances.
+
+use proptest::prelude::*;
+
+use mood_optimizer::{
+    objective, optimal_order_exhaustive, order_paths, BoolExpr, Negate, PathCost,
+};
+
+// ---------------------------------------------------------------------
+// DNF equivalence
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+struct V(usize, bool);
+
+impl Negate for V {
+    fn negate(&self) -> Self {
+        V(self.0, !self.1)
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = BoolExpr<V>> {
+    let leaf = (0usize..5, any::<bool>()).prop_map(|(i, pos)| BoolExpr::Leaf(V(i, pos)));
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(BoolExpr::And),
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(BoolExpr::Or),
+            inner.prop_map(|e| BoolExpr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn eval(e: &BoolExpr<V>, assign: &[bool; 5]) -> bool {
+    match e {
+        BoolExpr::Leaf(V(i, pos)) => assign[*i] == *pos,
+        BoolExpr::And(ps) => ps.iter().all(|p| eval(p, assign)),
+        BoolExpr::Or(ps) => ps.iter().any(|p| eval(p, assign)),
+        BoolExpr::Not(p) => !eval(p, assign),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dnf_is_logically_equivalent(e in arb_expr()) {
+        let dnf = e.to_dnf();
+        for mask in 0u32..32 {
+            let assign = [
+                mask & 1 != 0,
+                mask & 2 != 0,
+                mask & 4 != 0,
+                mask & 8 != 0,
+                mask & 16 != 0,
+            ];
+            let direct = eval(&e, &assign);
+            let via_dnf = dnf
+                .iter()
+                .any(|term| term.iter().all(|V(i, pos)| assign[*i] == *pos));
+            prop_assert_eq!(direct, via_dnf, "assignment {:?}", assign);
+        }
+    }
+
+    #[test]
+    fn dnf_terms_contain_only_leaves_from_the_input(e in arb_expr()) {
+        // Structural sanity: every literal in the DNF mentions one of the
+        // five variables, and no term is empty unless the input was.
+        for term in e.to_dnf() {
+            prop_assert!(!term.is_empty());
+            for V(i, _) in term {
+                prop_assert!(i < 5);
+            }
+        }
+    }
+
+    // -------------------------------------------------------------------
+    // Appendix lemma on random instances
+    // -------------------------------------------------------------------
+
+    #[test]
+    fn rank_order_is_optimal(
+        paths in proptest::collection::vec(
+            (1.0f64..1000.0, 0.0001f64..0.9999),
+            1..7,
+        )
+    ) {
+        let paths: Vec<PathCost> = paths
+            .into_iter()
+            .map(|(cost, selectivity)| PathCost { cost, selectivity })
+            .collect();
+        let ranked = order_paths(&paths);
+        let got = objective(&paths, &ranked);
+        let (_, best) = optimal_order_exhaustive(&paths);
+        prop_assert!(
+            (got - best).abs() <= 1e-9 * best.max(1.0),
+            "ranked {} vs optimal {} for {:?}",
+            got,
+            best,
+            paths
+        );
+    }
+
+    #[test]
+    fn objective_is_permutation_invariant_total_when_selectivity_one(
+        costs in proptest::collection::vec(1.0f64..100.0, 2..6)
+    ) {
+        // With every selectivity = 1, f is the plain sum regardless of
+        // order.
+        let paths: Vec<PathCost> =
+            costs.iter().map(|&c| PathCost { cost: c, selectivity: 1.0 }).collect();
+        let order: Vec<usize> = (0..paths.len()).collect();
+        let rev: Vec<usize> = order.iter().rev().copied().collect();
+        let a = objective(&paths, &order);
+        let b = objective(&paths, &rev);
+        prop_assert!((a - b).abs() < 1e-9);
+        prop_assert!((a - costs.iter().sum::<f64>()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,363 @@
+//! Buffer pool with clock (second-chance) replacement.
+//!
+//! Access is closure-based: `with_page` / `with_page_mut` pin the frame for
+//! the duration of the callback only, which keeps the API free of guard
+//! lifetimes. Callbacks must not re-enter the pool (the higher layers
+//! materialize node/record data into owned values before touching another
+//! page, so nesting never occurs in practice; a debug re-entrancy check
+//! enforces it).
+//!
+//! Every *logical* access is classified by the caller as sequential, random
+//! or index ([`AccessKind`]); the pool records a physical read only on a
+//! miss, so the [`DiskMetrics`] counters reflect real I/O with caching — the
+//! paper's worst-case cost formulas are recovered by sizing the pool small.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::disk::Disk;
+use crate::error::{Result, StorageError};
+use crate::metrics::{AccessKind, DiskMetrics};
+use crate::oid::{FileId, PageId};
+use crate::page::Page;
+
+struct Frame {
+    key: Option<(FileId, PageId)>,
+    page: Page,
+    dirty: bool,
+    pins: u32,
+    referenced: bool,
+    /// True while a callback holds the page outside the pool lock; other
+    /// threads touching the same page wait on the pool condvar.
+    checked_out: bool,
+}
+
+struct PoolState {
+    frames: Vec<Frame>,
+    map: HashMap<(FileId, PageId), usize>,
+    hand: usize,
+}
+
+/// A shared buffer pool over a [`Disk`].
+pub struct BufferPool {
+    disk: Arc<dyn Disk>,
+    state: Mutex<PoolState>,
+    returned: Condvar,
+    metrics: DiskMetrics,
+    capacity: usize,
+}
+
+thread_local! {
+    /// Per-thread re-entrancy guard: a callback on this thread must not call
+    /// back into any pool (higher layers materialize data before the next
+    /// page access).
+    static IN_CALLBACK: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+impl BufferPool {
+    /// Pool with `capacity` frames over `disk`, reporting into `metrics`.
+    pub fn new(disk: Arc<dyn Disk>, capacity: usize, metrics: DiskMetrics) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                key: None,
+                page: Page::new(),
+                dirty: false,
+                pins: 0,
+                referenced: false,
+                checked_out: false,
+            })
+            .collect();
+        BufferPool {
+            disk,
+            state: Mutex::new(PoolState {
+                frames,
+                map: HashMap::new(),
+                hand: 0,
+            }),
+            returned: Condvar::new(),
+            metrics,
+            capacity,
+        }
+    }
+
+    pub fn metrics(&self) -> &DiskMetrics {
+        &self.metrics
+    }
+
+    pub fn disk(&self) -> &Arc<dyn Disk> {
+        &self.disk
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Read access to a page.
+    pub fn with_page<R>(
+        &self,
+        file: FileId,
+        page: PageId,
+        kind: AccessKind,
+        f: impl FnOnce(&Page) -> R,
+    ) -> Result<R> {
+        self.access(file, page, kind, false, |p| f(p))
+    }
+
+    /// Write access to a page; the frame is marked dirty.
+    pub fn with_page_mut<R>(
+        &self,
+        file: FileId,
+        page: PageId,
+        kind: AccessKind,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> Result<R> {
+        self.access(file, page, kind, true, f)
+    }
+
+    fn access<R>(
+        &self,
+        file: FileId,
+        page: PageId,
+        kind: AccessKind,
+        write: bool,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> Result<R> {
+        assert!(
+            !IN_CALLBACK.with(|c| c.get()),
+            "buffer pool callbacks must not re-enter the pool"
+        );
+        let mut st = self.state.lock();
+        let idx = loop {
+            match st.map.get(&(file, page)).copied() {
+                Some(i) if st.frames[i].checked_out => {
+                    // Another thread holds this page outside the lock; wait
+                    // for it to come back, then retry the lookup (the frame
+                    // cannot be evicted while pinned).
+                    self.returned.wait(&mut st);
+                }
+                Some(i) => {
+                    self.metrics.record_buffer_hit();
+                    break i;
+                }
+                None => {
+                    self.metrics.record_buffer_miss();
+                    self.metrics.record_read(kind);
+                    let i = self.evict_one(&mut st)?;
+                    self.disk.read_page(file, page, &mut st.frames[i].page)?;
+                    st.frames[i].key = Some((file, page));
+                    st.frames[i].dirty = false;
+                    st.map.insert((file, page), i);
+                    break i;
+                }
+            }
+        };
+        st.frames[idx].referenced = true;
+        st.frames[idx].pins += 1;
+        if write {
+            st.frames[idx].dirty = true;
+        }
+        st.frames[idx].checked_out = true;
+        // Temporarily move the page out so the callback runs without the
+        // pool lock; `checked_out` makes same-page accessors wait above.
+        let mut owned = std::mem::take(&mut st.frames[idx].page);
+        drop(st);
+        IN_CALLBACK.with(|c| c.set(true));
+        let result = f(&mut owned);
+        IN_CALLBACK.with(|c| c.set(false));
+        let mut st = self.state.lock();
+        st.frames[idx].page = owned;
+        st.frames[idx].pins -= 1;
+        st.frames[idx].checked_out = false;
+        drop(st);
+        self.returned.notify_all();
+        Ok(result)
+    }
+
+    /// Allocate a fresh page in `file`, run `init` on it, and return its id.
+    pub fn new_page<R>(
+        &self,
+        file: FileId,
+        init: impl FnOnce(&mut Page) -> R,
+    ) -> Result<(PageId, R)> {
+        let pid = self.disk.allocate_page(file)?;
+        let r = self.with_page_mut(file, pid, AccessKind::Random, init)?;
+        Ok((pid, r))
+    }
+
+    fn evict_one(&self, st: &mut PoolState) -> Result<usize> {
+        // Clock sweep: at most two full passes (first clears reference bits).
+        for _ in 0..(2 * st.frames.len() + 1) {
+            let i = st.hand;
+            st.hand = (st.hand + 1) % st.frames.len();
+            let frame = &mut st.frames[i];
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            if let Some(key) = frame.key.take() {
+                if frame.dirty {
+                    self.metrics.record_write();
+                    self.disk.write_page(key.0, key.1, &frame.page)?;
+                    frame.dirty = false;
+                }
+                st.map.remove(&key);
+            }
+            return Ok(i);
+        }
+        Err(StorageError::PoolExhausted)
+    }
+
+    /// Write all dirty frames back to disk (without dropping them).
+    pub fn flush_all(&self) -> Result<()> {
+        let mut st = self.state.lock();
+        for frame in st.frames.iter_mut() {
+            if let (Some(key), true) = (frame.key, frame.dirty) {
+                self.metrics.record_write();
+                self.disk.write_page(key.0, key.1, &frame.page)?;
+                frame.dirty = false;
+            }
+        }
+        drop(st);
+        self.disk.sync()
+    }
+
+    /// Evict all frames belonging to `file`, writing dirty ones back first.
+    /// Used when a file handle is retired; the data stays on disk.
+    pub fn discard_file(&self, file: FileId) {
+        let mut st = self.state.lock();
+        let keys: Vec<_> = st.map.keys().filter(|(f, _)| *f == file).copied().collect();
+        for key in keys {
+            if let Some(i) = st.map.remove(&key) {
+                if st.frames[i].dirty {
+                    self.metrics.record_write();
+                    // Best-effort write-back; a failing disk loses the frame.
+                    let _ = self.disk.write_page(key.0, key.1, &st.frames[i].page);
+                }
+                st.frames[i].key = None;
+                st.frames[i].dirty = false;
+                st.frames[i].referenced = false;
+            }
+        }
+    }
+
+    /// Number of frames currently caching pages (for tests).
+    pub fn resident(&self) -> usize {
+        self.state.lock().map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use crate::page::PAGE_SIZE;
+
+    fn pool(cap: usize) -> (BufferPool, FileId) {
+        let disk = Arc::new(MemDisk::new());
+        let pool = BufferPool::new(disk.clone(), cap, DiskMetrics::new());
+        let f = disk.create_file().unwrap();
+        (pool, f)
+    }
+
+    #[test]
+    fn read_your_writes_through_pool() {
+        let (pool, f) = pool(4);
+        let (pid, _) = pool.new_page(f, |p| p.data[0] = 42).unwrap();
+        let v = pool
+            .with_page(f, pid, AccessKind::Random, |p| p.data[0])
+            .unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let (pool, f) = pool(2);
+        let mut pids = Vec::new();
+        for i in 0..5u8 {
+            let (pid, _) = pool.new_page(f, |p| p.data[0] = i).unwrap();
+            pids.push(pid);
+        }
+        // All five pages exceed the 2-frame pool; earlier ones were evicted
+        // and must come back from disk with their data intact.
+        for (i, pid) in pids.iter().enumerate() {
+            let v = pool
+                .with_page(f, *pid, AccessKind::Random, |p| p.data[0])
+                .unwrap();
+            assert_eq!(v as usize, i);
+        }
+        assert!(pool.resident() <= 2);
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let (pool, f) = pool(4);
+        let (pid, _) = pool.new_page(f, |_| {}).unwrap();
+        let before = pool.metrics().snapshot();
+        for _ in 0..10 {
+            pool.with_page(f, pid, AccessKind::Sequential, |_| {})
+                .unwrap();
+        }
+        let d = pool.metrics().snapshot().delta(&before);
+        assert_eq!(d.buffer_hits, 10);
+        assert_eq!(d.buffer_misses, 0);
+        assert_eq!(d.seq_pages, 0, "cached accesses cost no I/O");
+    }
+
+    #[test]
+    fn misses_record_reads_by_kind() {
+        let (pool, f) = pool(1);
+        let (p0, _) = pool.new_page(f, |_| {}).unwrap();
+        let (p1, _) = pool.new_page(f, |_| {}).unwrap();
+        let before = pool.metrics().snapshot();
+        // Ping-pong between two pages with a 1-frame pool: every access misses.
+        pool.with_page(f, p0, AccessKind::Random, |_| {}).unwrap();
+        pool.with_page(f, p1, AccessKind::Index, |_| {}).unwrap();
+        pool.with_page(f, p0, AccessKind::Sequential, |_| {})
+            .unwrap();
+        let d = pool.metrics().snapshot().delta(&before);
+        assert_eq!((d.rnd_pages, d.idx_pages, d.seq_pages), (1, 1, 1));
+    }
+
+    #[test]
+    fn flush_all_persists_to_disk() {
+        let disk = Arc::new(MemDisk::new());
+        let pool = BufferPool::new(disk.clone(), 4, DiskMetrics::new());
+        let f = disk.create_file().unwrap();
+        let (pid, _) = pool.new_page(f, |p| p.data[PAGE_SIZE - 1] = 9).unwrap();
+        pool.flush_all().unwrap();
+        let mut raw = Page::new();
+        disk.read_page(f, pid, &mut raw).unwrap();
+        assert_eq!(raw.data[PAGE_SIZE - 1], 9);
+    }
+
+    #[test]
+    fn discard_file_drops_frames() {
+        let (pool, f) = pool(4);
+        let (pid, _) = pool.new_page(f, |p| p.data[0] = 1).unwrap();
+        assert_eq!(pool.resident(), 1);
+        pool.discard_file(f);
+        assert_eq!(pool.resident(), 0);
+        // The page is still on disk (discard is not delete).
+        let v = pool
+            .with_page(f, pid, AccessKind::Random, |p| p.data[0])
+            .unwrap();
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-enter")]
+    fn reentrancy_is_detected() {
+        let (pool, f) = pool(4);
+        let (pid, _) = pool.new_page(f, |_| {}).unwrap();
+        let pool_ref = &pool;
+        let _ = pool.with_page(f, pid, AccessKind::Random, |_| {
+            let _ = pool_ref.with_page(f, pid, AccessKind::Random, |_| {});
+        });
+    }
+}

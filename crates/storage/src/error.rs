@@ -1,0 +1,115 @@
+//! Error type shared by all storage-layer operations.
+
+use std::fmt;
+
+use crate::oid::{FileId, Oid, PageId};
+
+/// Errors produced by the storage manager.
+///
+/// Mirrors the error surface ESM exposed to the MOOD kernel: I/O failures,
+/// structural corruption, capacity limits, lock conflicts and recovery
+/// problems. Every variant carries enough context to be reported to the user
+/// by the kernel's `Exception` machinery without further lookups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The underlying byte store failed (file-system error, simulated fault).
+    Io(String),
+    /// A page id was out of range for the file.
+    PageOutOfRange {
+        file: FileId,
+        page: PageId,
+        pages: u32,
+    },
+    /// A file id is unknown to the disk manager.
+    UnknownFile(FileId),
+    /// An OID did not resolve to a live record.
+    DanglingOid(Oid),
+    /// A record was too large to ever fit in a page.
+    RecordTooLarge { size: usize, max: usize },
+    /// A slotted-page invariant was violated (corruption).
+    Corrupt(String),
+    /// The buffer pool had no evictable frame (everything pinned).
+    PoolExhausted,
+    /// A lock could not be granted before the deadlock timeout.
+    LockTimeout { resource: String },
+    /// An operation was attempted on an aborted/finished transaction.
+    TxnFinished,
+    /// The write-ahead log is unreadable past the given offset.
+    WalCorrupt { offset: u64 },
+    /// A key was required to be unique but already exists in the index.
+    DuplicateKey,
+    /// Key not found where the caller required presence.
+    KeyNotFound,
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(msg) => write!(f, "I/O error: {msg}"),
+            StorageError::PageOutOfRange { file, page, pages } => {
+                write!(
+                    f,
+                    "page {page:?} out of range for file {file:?} ({pages} pages)"
+                )
+            }
+            StorageError::UnknownFile(id) => write!(f, "unknown file {id:?}"),
+            StorageError::DanglingOid(oid) => write!(f, "dangling OID {oid}"),
+            StorageError::RecordTooLarge { size, max } => {
+                write!(
+                    f,
+                    "record of {size} bytes exceeds the {max}-byte page capacity"
+                )
+            }
+            StorageError::Corrupt(msg) => write!(f, "storage corruption: {msg}"),
+            StorageError::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
+            StorageError::LockTimeout { resource } => {
+                write!(f, "lock wait timed out on {resource}")
+            }
+            StorageError::TxnFinished => write!(f, "transaction already committed or aborted"),
+            StorageError::WalCorrupt { offset } => {
+                write!(f, "write-ahead log unreadable at offset {offset}")
+            }
+            StorageError::DuplicateKey => write!(f, "duplicate key in unique index"),
+            StorageError::KeyNotFound => write!(f, "key not found"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}
+
+/// Convenient alias used across the crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = StorageError::RecordTooLarge {
+            size: 9000,
+            max: 4000,
+        };
+        assert!(e.to_string().contains("9000"));
+        assert!(e.to_string().contains("4000"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::other("boom");
+        let e: StorageError = io.into();
+        assert!(matches!(e, StorageError::Io(ref m) if m.contains("boom")));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(StorageError::DuplicateKey, StorageError::DuplicateKey);
+        assert_ne!(StorageError::DuplicateKey, StorageError::KeyNotFound);
+    }
+}

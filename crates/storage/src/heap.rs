@@ -1,0 +1,494 @@
+//! Heap files: unordered collections of variable-length records addressed by
+//! physical OIDs, with ESM-style forwarding for relocated records.
+//!
+//! Record layout on the page: a 1-byte tag (`TAG_NORMAL` or `TAG_MOVED_IN`)
+//! followed by the payload. When an update outgrows its page, the record is
+//! relocated and a forwarding stub is left at the original slot; the copy at
+//! the new home is tagged `TAG_MOVED_IN` so sequential scans skip it and
+//! instead reach it through the stub — which is exactly the extra random
+//! access the cost model charges for forwarded objects.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::buffer::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::metrics::AccessKind;
+use crate::oid::{FileId, Oid, PageId, SlotId};
+use crate::page::{SlotContent, SlottedPage, MAX_RECORD};
+
+const TAG_NORMAL: u8 = 0;
+const TAG_MOVED_IN: u8 = 1;
+
+/// Largest payload a heap record may carry (page capacity minus the tag).
+pub const MAX_PAYLOAD: usize = MAX_RECORD - 1;
+
+/// A heap file of records.
+pub struct HeapFile {
+    file: FileId,
+    pool: Arc<BufferPool>,
+    /// Pages recently observed to have free space, newest last.
+    free_hints: Mutex<Vec<PageId>>,
+}
+
+impl HeapFile {
+    /// Create a brand-new heap file on the pool's disk.
+    pub fn create(pool: Arc<BufferPool>) -> Result<HeapFile> {
+        let file = pool.disk().create_file()?;
+        Ok(HeapFile {
+            file,
+            pool,
+            free_hints: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Re-open an existing heap file.
+    pub fn open(pool: Arc<BufferPool>, file: FileId) -> HeapFile {
+        HeapFile {
+            file,
+            pool,
+            free_hints: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn file_id(&self) -> FileId {
+        self.file
+    }
+
+    /// Number of allocated pages — the cost model's `nbpages(C)`.
+    pub fn pages(&self) -> Result<u32> {
+        self.pool.disk().page_count(self.file)
+    }
+
+    /// Insert a record, returning its OID.
+    pub fn insert(&self, payload: &[u8]) -> Result<Oid> {
+        self.insert_tagged(payload, TAG_NORMAL)
+    }
+
+    fn insert_tagged(&self, payload: &[u8], tag: u8) -> Result<Oid> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(StorageError::RecordTooLarge {
+                size: payload.len(),
+                max: MAX_PAYLOAD,
+            });
+        }
+        let mut rec = Vec::with_capacity(payload.len() + 1);
+        rec.push(tag);
+        rec.extend_from_slice(payload);
+
+        // Try hinted pages (newest first), then the last page, then extend.
+        let mut candidates: Vec<PageId> = {
+            let hints = self.free_hints.lock();
+            hints.iter().rev().copied().collect()
+        };
+        let pages = self.pages()?;
+        if pages > 0 {
+            let last = PageId(pages - 1);
+            if !candidates.contains(&last) {
+                candidates.push(last);
+            }
+        }
+        for pid in candidates {
+            let placed = self
+                .pool
+                .with_page_mut(self.file, pid, AccessKind::Random, |p| {
+                    if SlottedPage::fits(p, rec.len()) {
+                        Some(SlottedPage::insert(p, &rec))
+                    } else {
+                        None
+                    }
+                })?;
+            if let Some(res) = placed {
+                let (slot, unique) = res?;
+                return Ok(Oid::new(self.file, pid, slot, unique));
+            }
+            self.free_hints.lock().retain(|h| *h != pid);
+        }
+        let (pid, res) = self.pool.new_page(self.file, |p| {
+            SlottedPage::init(p);
+            SlottedPage::insert(p, &rec)
+        })?;
+        let (slot, unique) = res?;
+        self.free_hints.lock().push(pid);
+        Ok(Oid::new(self.file, pid, slot, unique))
+    }
+
+    fn check_file(&self, oid: Oid) -> Result<()> {
+        if oid.file != self.file {
+            return Err(StorageError::DanglingOid(oid));
+        }
+        Ok(())
+    }
+
+    /// Fetch a record by OID (random access), following one forwarding hop.
+    pub fn get(&self, oid: Oid) -> Result<Vec<u8>> {
+        self.get_kind(oid, AccessKind::Random)
+    }
+
+    fn get_kind(&self, oid: Oid, kind: AccessKind) -> Result<Vec<u8>> {
+        self.check_file(oid)?;
+        let content = self
+            .pool
+            .with_page(self.file, oid.page, kind, |p| {
+                SlottedPage::get(p, oid.slot, oid.unique)
+            })?
+            .map_err(|_| StorageError::DanglingOid(oid))?;
+        match content {
+            SlotContent::Record(bytes) => Ok(bytes[1..].to_vec()),
+            SlotContent::Forward(fwd) => {
+                let target = Oid::from_bytes(&fwd)
+                    .ok_or(StorageError::Corrupt("bad forwarding address".into()))?;
+                // Forwarded access always pays an extra random page fetch.
+                let content = self
+                    .pool
+                    .with_page(self.file, target.page, AccessKind::Random, |p| {
+                        SlottedPage::get(p, target.slot, target.unique)
+                    })?
+                    .map_err(|_| StorageError::DanglingOid(oid))?;
+                match content {
+                    SlotContent::Record(bytes) => Ok(bytes[1..].to_vec()),
+                    _ => Err(StorageError::DanglingOid(oid)),
+                }
+            }
+            SlotContent::Free => Err(StorageError::DanglingOid(oid)),
+        }
+    }
+
+    /// Update a record in place, relocating with a forwarding stub when the
+    /// new payload no longer fits. The record's OID never changes.
+    pub fn update(&self, oid: Oid, payload: &[u8]) -> Result<()> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(StorageError::RecordTooLarge {
+                size: payload.len(),
+                max: MAX_PAYLOAD,
+            });
+        }
+        self.check_file(oid)?;
+        let mut rec = Vec::with_capacity(payload.len() + 1);
+        rec.push(TAG_NORMAL);
+        rec.extend_from_slice(payload);
+
+        enum Outcome {
+            Done,
+            Relocate,
+            FollowForward(Oid),
+        }
+        let outcome = self
+            .pool
+            .with_page_mut(
+                self.file,
+                oid.page,
+                AccessKind::Random,
+                |p| match SlottedPage::get(p, oid.slot, oid.unique) {
+                    Err(_) | Ok(SlotContent::Free) => Err(StorageError::DanglingOid(oid)),
+                    Ok(SlotContent::Forward(fwd)) => {
+                        let target = Oid::from_bytes(&fwd)
+                            .ok_or(StorageError::Corrupt("bad forwarding address".into()))?;
+                        Ok(Outcome::FollowForward(target))
+                    }
+                    Ok(SlotContent::Record(_)) => {
+                        if SlottedPage::try_update(p, oid.slot, &rec)? {
+                            Ok(Outcome::Done)
+                        } else {
+                            Ok(Outcome::Relocate)
+                        }
+                    }
+                },
+            )??;
+        match outcome {
+            Outcome::Done => Ok(()),
+            Outcome::FollowForward(target) => {
+                // Update the relocated copy; keep the MOVED_IN tag so scans
+                // still reach it only via the stub. Re-relocation (the copy
+                // outgrowing its new page) re-points the original stub.
+                let mut moved = rec.clone();
+                moved[0] = TAG_MOVED_IN;
+                let done = self.pool.with_page_mut(
+                    self.file,
+                    target.page,
+                    AccessKind::Random,
+                    |p| SlottedPage::try_update(p, target.slot, &moved),
+                )??;
+                if done {
+                    return Ok(());
+                }
+                // Drop the outgrown copy, place a fresh one, and re-point
+                // the original stub at it. `make_forward` rewrites the stub
+                // in place, keeping the slot's stamp — the caller's OID
+                // stays valid.
+                self.pool
+                    .with_page_mut(self.file, target.page, AccessKind::Random, |p| {
+                        SlottedPage::delete(p, target.slot)
+                    })??;
+                let new_home = self.insert_tagged(payload, TAG_MOVED_IN)?;
+                self.pool
+                    .with_page_mut(self.file, oid.page, AccessKind::Random, |p| {
+                        SlottedPage::make_forward(p, oid.slot, &new_home.to_bytes())
+                    })??;
+                Ok(())
+            }
+            Outcome::Relocate => {
+                let new_home = self.insert_tagged(payload, TAG_MOVED_IN)?;
+                self.pool
+                    .with_page_mut(self.file, oid.page, AccessKind::Random, |p| {
+                        SlottedPage::make_forward(p, oid.slot, &new_home.to_bytes())
+                    })??;
+                Ok(())
+            }
+        }
+    }
+
+    /// Delete a record (and its relocated copy, if any).
+    pub fn delete(&self, oid: Oid) -> Result<()> {
+        self.check_file(oid)?;
+        let fwd = self
+            .pool
+            .with_page_mut(
+                self.file,
+                oid.page,
+                AccessKind::Random,
+                |p| match SlottedPage::get(p, oid.slot, oid.unique) {
+                    Err(_) | Ok(SlotContent::Free) => Err(StorageError::DanglingOid(oid)),
+                    Ok(SlotContent::Forward(bytes)) => {
+                        SlottedPage::delete(p, oid.slot)?;
+                        Ok(Oid::from_bytes(&bytes))
+                    }
+                    Ok(SlotContent::Record(_)) => {
+                        SlottedPage::delete(p, oid.slot)?;
+                        Ok(None)
+                    }
+                },
+            )??;
+        self.free_hints.lock().push(oid.page);
+        if let Some(target) = fwd {
+            self.pool
+                .with_page_mut(self.file, target.page, AccessKind::Random, |p| {
+                    SlottedPage::delete(p, target.slot)
+                })??;
+            self.free_hints.lock().push(target.page);
+        }
+        Ok(())
+    }
+
+    /// Sequential scan over all live records, in (page, slot) order,
+    /// yielding each record's canonical OID.
+    ///
+    /// Relocated records are emitted when their forwarding stub is reached
+    /// (one extra random access each), and their `MOVED_IN` home copy is
+    /// skipped — so every record appears exactly once under its original OID.
+    pub fn scan(&self) -> Result<Vec<(Oid, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.scan_with(|oid, bytes| {
+            out.push((oid, bytes.to_vec()));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Streaming scan; the visitor returns `false` to stop early.
+    pub fn scan_with(&self, mut visit: impl FnMut(Oid, &[u8]) -> bool) -> Result<()> {
+        let pages = self.pages()?;
+        'pages: for pnum in 0..pages {
+            let pid = PageId(pnum);
+            // Materialize the page's live slots, then resolve forwards
+            // outside the page callback (no pool re-entrancy).
+            let entries: Vec<(SlotId, u32, bool, Option<Vec<u8>>)> =
+                self.pool
+                    .with_page(self.file, pid, AccessKind::Sequential, |p| {
+                        SlottedPage::live_slots(p)
+                            .into_iter()
+                            .map(|(slot, stamp, is_fwd)| {
+                                let bytes = match SlottedPage::get_any(p, slot) {
+                                    Ok(SlotContent::Record(b)) => Some(b),
+                                    Ok(SlotContent::Forward(b)) => Some(b),
+                                    _ => None,
+                                };
+                                (slot, stamp, is_fwd, bytes)
+                            })
+                            .collect()
+                    })?;
+            for (slot, stamp, is_fwd, bytes) in entries {
+                let Some(bytes) = bytes else { continue };
+                let oid = Oid::new(self.file, pid, slot, stamp);
+                if is_fwd {
+                    let record = self.get_kind(oid, AccessKind::Random)?;
+                    if !visit(oid, &record) {
+                        break 'pages;
+                    }
+                } else if bytes.first() == Some(&TAG_NORMAL) && !visit(oid, &bytes[1..]) {
+                    break 'pages;
+                }
+                // TAG_MOVED_IN records are skipped: reached via their stub.
+            }
+        }
+        Ok(())
+    }
+
+    /// Count live records (scans the file).
+    pub fn count(&self) -> Result<u64> {
+        let mut n = 0u64;
+        self.scan_with(|_, _| {
+            n += 1;
+            true
+        })?;
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use crate::metrics::DiskMetrics;
+
+    fn heap() -> HeapFile {
+        let disk = Arc::new(MemDisk::new());
+        let pool = Arc::new(BufferPool::new(disk, 64, DiskMetrics::new()));
+        HeapFile::create(pool).unwrap()
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let h = heap();
+        let oid = h.insert(b"record one").unwrap();
+        assert_eq!(h.get(oid).unwrap(), b"record one");
+    }
+
+    #[test]
+    fn many_records_span_pages() {
+        let h = heap();
+        let oids: Vec<_> = (0..500)
+            .map(|i| h.insert(format!("rec-{i:04}").as_bytes()).unwrap())
+            .collect();
+        assert!(h.pages().unwrap() > 1, "500 records need multiple pages");
+        for (i, oid) in oids.iter().enumerate() {
+            assert_eq!(h.get(*oid).unwrap(), format!("rec-{i:04}").as_bytes());
+        }
+        assert_eq!(h.count().unwrap(), 500);
+    }
+
+    #[test]
+    fn delete_then_get_is_dangling() {
+        let h = heap();
+        let oid = h.insert(b"gone").unwrap();
+        h.delete(oid).unwrap();
+        assert!(matches!(h.get(oid), Err(StorageError::DanglingOid(_))));
+        assert!(matches!(h.delete(oid), Err(StorageError::DanglingOid(_))));
+    }
+
+    #[test]
+    fn update_in_place() {
+        let h = heap();
+        let oid = h.insert(b"aaaa").unwrap();
+        h.update(oid, b"bb").unwrap();
+        assert_eq!(h.get(oid).unwrap(), b"bb");
+    }
+
+    #[test]
+    fn update_relocates_with_stable_oid() {
+        let h = heap();
+        let oid = h.insert(b"small").unwrap();
+        // Fill the rest of the page so growth forces relocation.
+        while h.pages().unwrap() == 1 {
+            h.insert(&vec![7u8; 600]).unwrap();
+        }
+        let big = vec![9u8; 3500];
+        h.update(oid, &big).unwrap();
+        assert_eq!(h.get(oid).unwrap(), big, "OID survives relocation");
+        // And the record appears exactly once in a scan, under its OID.
+        let hits: Vec<_> = h
+            .scan()
+            .unwrap()
+            .into_iter()
+            .filter(|(o, _)| *o == oid)
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].1, big);
+    }
+
+    #[test]
+    fn scan_sees_all_records_once() {
+        let h = heap();
+        let mut expect = std::collections::BTreeMap::new();
+        for i in 0..200 {
+            let payload = format!("row{i}");
+            let oid = h.insert(payload.as_bytes()).unwrap();
+            expect.insert(oid, payload.into_bytes());
+        }
+        // Delete a third, update a third.
+        let oids: Vec<_> = expect.keys().copied().collect();
+        for (i, oid) in oids.iter().enumerate() {
+            if i % 3 == 0 {
+                h.delete(*oid).unwrap();
+                expect.remove(oid);
+            } else if i % 3 == 1 {
+                let new = vec![b'u'; 100 + i];
+                h.update(*oid, &new).unwrap();
+                expect.insert(*oid, new);
+            }
+        }
+        let scanned: std::collections::BTreeMap<_, _> = h.scan().unwrap().into_iter().collect();
+        assert_eq!(scanned, expect);
+    }
+
+    #[test]
+    fn scan_early_stop() {
+        let h = heap();
+        for i in 0..50 {
+            h.insert(&[i]).unwrap();
+        }
+        let mut seen = 0;
+        h.scan_with(|_, _| {
+            seen += 1;
+            seen < 10
+        })
+        .unwrap();
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn scan_counts_sequential_pages() {
+        let disk = Arc::new(MemDisk::new());
+        let metrics = DiskMetrics::new();
+        let pool = Arc::new(BufferPool::new(disk, 4, metrics.clone()));
+        let h = HeapFile::create(pool).unwrap();
+        for _ in 0..100 {
+            h.insert(&vec![1u8; 400]).unwrap();
+        }
+        metrics.reset();
+        let _ = h.scan().unwrap();
+        let snap = metrics.snapshot();
+        assert!(snap.seq_pages > 0, "scan reads pages sequentially");
+        assert_eq!(snap.rnd_pages, 0, "no forwards, so no random fetches");
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let h = heap();
+        assert!(matches!(
+            h.insert(&vec![0u8; MAX_PAYLOAD + 1]),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn deleted_space_is_reused() {
+        let h = heap();
+        let oids: Vec<_> = (0..64)
+            .map(|_| h.insert(&vec![3u8; 450]).unwrap())
+            .collect();
+        let pages_before = h.pages().unwrap();
+        for oid in &oids {
+            h.delete(*oid).unwrap();
+        }
+        for _ in 0..64 {
+            h.insert(&vec![4u8; 450]).unwrap();
+        }
+        assert_eq!(
+            h.pages().unwrap(),
+            pages_before,
+            "freed space reused, no growth"
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Lock manager: shared/exclusive locks on named resources.
+//!
+//! ESM gave MOOD "controlling data access and concurrency"; the kernel uses
+//! it in two places the paper calls out explicitly: extent/file access
+//! during query execution, and *locking a class's shared object while a
+//! member function is being rewritten* (Section 2: "We provide locking for
+//! this operation"). Deadlocks are resolved by timeout, which is what ESM's
+//! contemporaries shipped.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{Result, StorageError};
+
+/// Lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+/// Identifies a lock owner (a transaction or kernel task).
+pub type OwnerId = u64;
+
+#[derive(Default)]
+struct ResourceState {
+    /// Owners currently holding the lock, with their mode.
+    holders: HashMap<OwnerId, LockMode>,
+    /// Owners waiting (count only; fairness is FIFO-ish via condvar wakeup).
+    waiters: usize,
+}
+
+impl ResourceState {
+    fn compatible(&self, owner: OwnerId, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Shared => self
+                .holders
+                .iter()
+                .all(|(o, m)| *o == owner || *m == LockMode::Shared),
+            LockMode::Exclusive => self.holders.keys().all(|o| *o == owner),
+        }
+    }
+}
+
+/// The lock table.
+pub struct LockManager {
+    table: Mutex<HashMap<String, ResourceState>>,
+    released: Condvar,
+    timeout: Duration,
+}
+
+impl LockManager {
+    pub fn new(timeout: Duration) -> Self {
+        LockManager {
+            table: Mutex::new(HashMap::new()),
+            released: Condvar::new(),
+            timeout,
+        }
+    }
+
+    /// Acquire `mode` on `resource` for `owner`, blocking up to the deadlock
+    /// timeout. Re-acquisition by the same owner upgrades Shared→Exclusive
+    /// when no other holder is present.
+    pub fn acquire(&self, owner: OwnerId, resource: &str, mode: LockMode) -> Result<()> {
+        let deadline = Instant::now() + self.timeout;
+        let mut table = self.table.lock();
+        loop {
+            let state = table.entry(resource.to_string()).or_default();
+            if state.compatible(owner, mode) {
+                let slot = state.holders.entry(owner).or_insert(mode);
+                if mode == LockMode::Exclusive {
+                    *slot = LockMode::Exclusive;
+                }
+                return Ok(());
+            }
+            state.waiters += 1;
+            let timed_out = self.released.wait_until(&mut table, deadline).timed_out();
+            if let Some(state) = table.get_mut(resource) {
+                state.waiters -= 1;
+            }
+            if timed_out {
+                return Err(StorageError::LockTimeout {
+                    resource: resource.to_string(),
+                });
+            }
+        }
+    }
+
+    /// Release `owner`'s lock on `resource` (no-op if not held).
+    pub fn release(&self, owner: OwnerId, resource: &str) {
+        let mut table = self.table.lock();
+        if let Some(state) = table.get_mut(resource) {
+            state.holders.remove(&owner);
+            if state.holders.is_empty() && state.waiters == 0 {
+                table.remove(resource);
+            }
+        }
+        drop(table);
+        self.released.notify_all();
+    }
+
+    /// Release everything `owner` holds (transaction end).
+    pub fn release_all(&self, owner: OwnerId) {
+        let mut table = self.table.lock();
+        table.retain(|_, state| {
+            state.holders.remove(&owner);
+            !(state.holders.is_empty() && state.waiters == 0)
+        });
+        drop(table);
+        self.released.notify_all();
+    }
+
+    /// Mode currently held by `owner` on `resource`, if any.
+    pub fn held(&self, owner: OwnerId, resource: &str) -> Option<LockMode> {
+        self.table
+            .lock()
+            .get(resource)
+            .and_then(|s| s.holders.get(&owner))
+            .copied()
+    }
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager::new(Duration::from_millis(200))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::default();
+        lm.acquire(1, "extent:Vehicle", LockMode::Shared).unwrap();
+        lm.acquire(2, "extent:Vehicle", LockMode::Shared).unwrap();
+        assert_eq!(lm.held(1, "extent:Vehicle"), Some(LockMode::Shared));
+        assert_eq!(lm.held(2, "extent:Vehicle"), Some(LockMode::Shared));
+    }
+
+    #[test]
+    fn exclusive_excludes_and_times_out() {
+        let lm = LockManager::new(Duration::from_millis(30));
+        lm.acquire(1, "so:Vehicle", LockMode::Exclusive).unwrap();
+        let err = lm.acquire(2, "so:Vehicle", LockMode::Shared).unwrap_err();
+        assert!(matches!(err, StorageError::LockTimeout { .. }));
+    }
+
+    #[test]
+    fn release_unblocks_waiter() {
+        let lm = Arc::new(LockManager::new(Duration::from_secs(5)));
+        lm.acquire(1, "r", LockMode::Exclusive).unwrap();
+        let lm2 = lm.clone();
+        let t = std::thread::spawn(move || lm2.acquire(2, "r", LockMode::Exclusive));
+        std::thread::sleep(Duration::from_millis(20));
+        lm.release(1, "r");
+        t.join().unwrap().unwrap();
+        assert_eq!(lm.held(2, "r"), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn reacquire_upgrades_when_sole_holder() {
+        let lm = LockManager::default();
+        lm.acquire(1, "r", LockMode::Shared).unwrap();
+        lm.acquire(1, "r", LockMode::Exclusive).unwrap();
+        assert_eq!(lm.held(1, "r"), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_reader() {
+        let lm = LockManager::new(Duration::from_millis(30));
+        lm.acquire(1, "r", LockMode::Shared).unwrap();
+        lm.acquire(2, "r", LockMode::Shared).unwrap();
+        assert!(lm.acquire(1, "r", LockMode::Exclusive).is_err());
+    }
+
+    #[test]
+    fn release_all_clears_owner() {
+        let lm = LockManager::default();
+        lm.acquire(1, "a", LockMode::Shared).unwrap();
+        lm.acquire(1, "b", LockMode::Exclusive).unwrap();
+        lm.release_all(1);
+        assert_eq!(lm.held(1, "a"), None);
+        assert_eq!(lm.held(1, "b"), None);
+        // Resources are free for others immediately.
+        lm.acquire(2, "b", LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_serialize() {
+        let lm = Arc::new(LockManager::new(Duration::from_secs(5)));
+        let counter = Arc::new(Mutex::new(0i32));
+        let mut handles = Vec::new();
+        for owner in 0..8u64 {
+            let lm = lm.clone();
+            let counter = counter.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    lm.acquire(owner, "ctr", LockMode::Exclusive).unwrap();
+                    {
+                        let mut c = counter.lock();
+                        let v = *c;
+                        std::thread::yield_now();
+                        *c = v + 1;
+                    }
+                    lm.release(owner, "ctr");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 400);
+    }
+}

@@ -1,0 +1,298 @@
+//! Disk-access instrumentation and the paper's physical disk model.
+//!
+//! The MOOD optimizer's cost formulas (Sections 5 and 6) are expressed in
+//! page accesses weighted by the Table 10 physical parameters. The authors'
+//! testbed disk is unavailable (and Table 10's numeric values were never
+//! published), so we *instrument* every page access instead: each operation
+//! scope counts sequential and random page reads/writes, and
+//! [`PhysicalParams`] converts those counts into modelled seconds. Benches
+//! report both wall-clock and modelled cost, which is what lets the
+//! reproduction compare measured access patterns against the paper's cost
+//! formulas on equal footing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::page::PAGE_SIZE;
+
+/// Physical disk parameters — the paper's Table 10.
+///
+/// * `block` — block size `B` in bytes,
+/// * `btt` — block transfer time,
+/// * `ebt` — effective block transfer time (sequential, amortized),
+/// * `rot` — average rotational latency `r`,
+/// * `seek` — average seek time `s`.
+///
+/// All times in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhysicalParams {
+    pub block: usize,
+    pub btt: f64,
+    pub ebt: f64,
+    pub rot: f64,
+    pub seek: f64,
+}
+
+impl PhysicalParams {
+    /// Era-plausible values following Salzberg's *File Structures* (1988):
+    /// a 4 KB block, 16 ms average seek, 8.3 ms rotational latency
+    /// (3600 rpm), 1.4 MB/s sustained transfer.
+    pub fn salzberg_1988() -> Self {
+        let btt = PAGE_SIZE as f64 / 1.4e6;
+        PhysicalParams {
+            block: PAGE_SIZE,
+            btt,
+            ebt: btt,
+            rot: 8.3e-3,
+            seek: 16.0e-3,
+        }
+    }
+
+    /// Calibrated so the Table 16 forward-traversal cost of path P2
+    /// (`v.company.name`) equals the paper's 520.825: the only free
+    /// parameter the formula exposes is `u = s + r + btt`, and
+    /// `F2 = RNDCOST(nbpg_c) + RNDCOST(|Vehicle| * fan) ≈ 22000 * u`
+    /// gives `u = 23.674 ms`. `ebt` is set to `btt` (ESM stores files as
+    /// B+-trees, making sequential and random access equal in cost, as the
+    /// paper notes in Section 5).
+    pub fn paper_calibrated() -> Self {
+        // nbpg_c = nbpages(Vehicle) * (1 - (1 - 1/nbpages)^|Vehicle|), the
+        // Section 6.1 page-hit estimate with the Table 13 statistics.
+        let nbpg_c = 2000.0 * (1.0 - (1.0 - 1.0 / 2000.0_f64).powi(20000));
+        let u = 520.825 / (nbpg_c + 20_000.0);
+        // Split u across seek/rot/btt in era-typical proportions; only the
+        // sum matters to RNDCOST.
+        let seek = u * 0.60;
+        let rot = u * 0.30;
+        let btt = u * 0.10;
+        PhysicalParams {
+            block: PAGE_SIZE,
+            btt,
+            ebt: btt,
+            rot,
+            seek,
+        }
+    }
+
+    /// Cost of one random page access: `s + r + btt`.
+    pub fn random_page(&self) -> f64 {
+        self.seek + self.rot + self.btt
+    }
+
+    /// SEQCOST(b) — Section 5: one seek + latency, then `b` effective
+    /// transfers.
+    pub fn seq_cost(&self, pages: f64) -> f64 {
+        if pages <= 0.0 {
+            return 0.0;
+        }
+        self.seek + self.rot + pages * self.ebt
+    }
+
+    /// RNDCOST(b) — Section 5.
+    pub fn rnd_cost(&self, pages: f64) -> f64 {
+        pages.max(0.0) * self.random_page()
+    }
+
+    /// Modelled time for a recorded access pattern.
+    pub fn time(&self, snapshot: &MetricsSnapshot) -> f64 {
+        // Each sequential *run* pays one seek + latency; individual pages in
+        // the run pay `ebt`. Random pages pay the full `s + r + btt`.
+        let seq = if snapshot.seq_pages > 0 {
+            self.seek + self.rot + snapshot.seq_pages as f64 * self.ebt
+        } else {
+            0.0
+        };
+        seq + self.rnd_cost((snapshot.rnd_pages + snapshot.idx_pages) as f64)
+            + self.rnd_cost(snapshot.writes as f64)
+    }
+}
+
+impl Default for PhysicalParams {
+    fn default() -> Self {
+        PhysicalParams::salzberg_1988()
+    }
+}
+
+/// Category of a page access, chosen by the *caller* (the file/index layer
+/// knows whether it is scanning or probing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Page touched as part of a sequential scan run.
+    Sequential,
+    /// Page fetched by direct addressing (OID chase, hash probe).
+    Random,
+    /// Page fetched while descending or scanning an index.
+    Index,
+}
+
+/// Shared counters. Cloning shares the underlying counters (Arc).
+#[derive(Debug, Default, Clone)]
+pub struct DiskMetrics {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    seq_pages: AtomicU64,
+    rnd_pages: AtomicU64,
+    idx_pages: AtomicU64,
+    writes: AtomicU64,
+    buffer_hits: AtomicU64,
+    buffer_misses: AtomicU64,
+}
+
+/// A point-in-time copy of the counters (or a delta between two points).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub seq_pages: u64,
+    pub rnd_pages: u64,
+    pub idx_pages: u64,
+    pub writes: u64,
+    pub buffer_hits: u64,
+    pub buffer_misses: u64,
+}
+
+impl MetricsSnapshot {
+    pub fn total_reads(&self) -> u64 {
+        self.seq_pages + self.rnd_pages + self.idx_pages
+    }
+
+    /// Component-wise difference `self - earlier` (saturating).
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            seq_pages: self.seq_pages.saturating_sub(earlier.seq_pages),
+            rnd_pages: self.rnd_pages.saturating_sub(earlier.rnd_pages),
+            idx_pages: self.idx_pages.saturating_sub(earlier.idx_pages),
+            writes: self.writes.saturating_sub(earlier.writes),
+            buffer_hits: self.buffer_hits.saturating_sub(earlier.buffer_hits),
+            buffer_misses: self.buffer_misses.saturating_sub(earlier.buffer_misses),
+        }
+    }
+}
+
+impl DiskMetrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record_read(&self, kind: AccessKind) {
+        let c = match kind {
+            AccessKind::Sequential => &self.inner.seq_pages,
+            AccessKind::Random => &self.inner.rnd_pages,
+            AccessKind::Index => &self.inner.idx_pages,
+        };
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_write(&self) {
+        self.inner.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_buffer_hit(&self) {
+        self.inner.buffer_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_buffer_miss(&self) {
+        self.inner.buffer_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            seq_pages: self.inner.seq_pages.load(Ordering::Relaxed),
+            rnd_pages: self.inner.rnd_pages.load(Ordering::Relaxed),
+            idx_pages: self.inner.idx_pages.load(Ordering::Relaxed),
+            writes: self.inner.writes.load(Ordering::Relaxed),
+            buffer_hits: self.inner.buffer_hits.load(Ordering::Relaxed),
+            buffer_misses: self.inner.buffer_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn reset(&self) {
+        self.inner.seq_pages.store(0, Ordering::Relaxed);
+        self.inner.rnd_pages.store(0, Ordering::Relaxed);
+        self.inner.idx_pages.store(0, Ordering::Relaxed);
+        self.inner.writes.store(0, Ordering::Relaxed);
+        self.inner.buffer_hits.store(0, Ordering::Relaxed);
+        self.inner.buffer_misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let m = DiskMetrics::new();
+        m.record_read(AccessKind::Sequential);
+        m.record_read(AccessKind::Random);
+        m.record_read(AccessKind::Random);
+        m.record_read(AccessKind::Index);
+        m.record_write();
+        let s = m.snapshot();
+        assert_eq!(s.seq_pages, 1);
+        assert_eq!(s.rnd_pages, 2);
+        assert_eq!(s.idx_pages, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.total_reads(), 4);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let m = DiskMetrics::new();
+        let m2 = m.clone();
+        m2.record_read(AccessKind::Random);
+        assert_eq!(m.snapshot().rnd_pages, 1);
+    }
+
+    #[test]
+    fn delta_is_componentwise() {
+        let m = DiskMetrics::new();
+        m.record_read(AccessKind::Random);
+        let before = m.snapshot();
+        m.record_read(AccessKind::Random);
+        m.record_read(AccessKind::Sequential);
+        let after = m.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.rnd_pages, 1);
+        assert_eq!(d.seq_pages, 1);
+    }
+
+    #[test]
+    fn seq_cheaper_than_rnd_for_many_pages() {
+        let p = PhysicalParams::salzberg_1988();
+        assert!(p.seq_cost(1000.0) < p.rnd_cost(1000.0));
+        // A single page costs the same either way when ebt == btt.
+        assert!((p.seq_cost(1.0) - p.rnd_cost(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_calibration_reproduces_f2() {
+        let p = PhysicalParams::paper_calibrated();
+        let nbpg_c = 2000.0 * (1.0 - (1.0 - 1.0 / 2000.0_f64).powi(20000));
+        let f2 = p.rnd_cost(nbpg_c) + p.rnd_cost(20000.0);
+        assert!((f2 - 520.825).abs() < 1e-6, "calibrated F2 = {f2}");
+    }
+
+    #[test]
+    fn modelled_time_counts_all_categories() {
+        let p = PhysicalParams::salzberg_1988();
+        let snap = MetricsSnapshot {
+            seq_pages: 10,
+            rnd_pages: 5,
+            idx_pages: 2,
+            writes: 1,
+            ..Default::default()
+        };
+        let t = p.time(&snap);
+        assert!(t > 0.0);
+        // Removing random pages must reduce modelled time.
+        let less = MetricsSnapshot {
+            rnd_pages: 0,
+            ..snap
+        };
+        assert!(p.time(&less) < t);
+    }
+}

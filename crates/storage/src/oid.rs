@@ -1,0 +1,126 @@
+//! Object identifiers.
+//!
+//! MOOD, following ESM, uses *physical* OIDs: an object identifier encodes
+//! the file, page and slot where the object lives, plus a `unique` stamp that
+//! detects stale references after a slot is reused. Relocated objects leave a
+//! forwarding address behind (see [`crate::heap`]), so OIDs stay valid across
+//! in-place growth.
+
+use std::fmt;
+
+/// Identifier of a storage file (an extent, an index, the catalog, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// Page number within a file (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+/// Slot number within a slotted page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SlotId(pub u16);
+
+/// A physical object identifier.
+///
+/// Ordering is by (file, page, slot, unique); scanning OIDs in order visits a
+/// file sequentially, which the algebra layer relies on when it chooses
+/// between sequential and random access patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Oid {
+    pub file: FileId,
+    pub page: PageId,
+    pub slot: SlotId,
+    /// Reuse stamp: bumped every time the slot is re-allocated so that stale
+    /// OIDs are detected instead of silently resolving to the wrong object.
+    pub unique: u32,
+}
+
+impl Oid {
+    pub const fn new(file: FileId, page: PageId, slot: SlotId, unique: u32) -> Self {
+        Oid {
+            file,
+            page,
+            slot,
+            unique,
+        }
+    }
+
+    /// The all-zero OID used as a null reference in serialized values.
+    pub const NULL: Oid = Oid::new(FileId(0), PageId(0), SlotId(0), 0);
+
+    pub fn is_null(&self) -> bool {
+        *self == Oid::NULL
+    }
+
+    /// Serialize to a fixed 14-byte representation (used inside values and
+    /// index payloads).
+    pub fn to_bytes(&self) -> [u8; 14] {
+        let mut b = [0u8; 14];
+        b[0..4].copy_from_slice(&self.file.0.to_le_bytes());
+        b[4..8].copy_from_slice(&self.page.0.to_le_bytes());
+        b[8..10].copy_from_slice(&self.slot.0.to_le_bytes());
+        b[10..14].copy_from_slice(&self.unique.to_le_bytes());
+        b
+    }
+
+    pub fn from_bytes(b: &[u8]) -> Option<Oid> {
+        if b.len() < 14 {
+            return None;
+        }
+        Some(Oid {
+            file: FileId(u32::from_le_bytes(b[0..4].try_into().ok()?)),
+            page: PageId(u32::from_le_bytes(b[4..8].try_into().ok()?)),
+            slot: SlotId(u16::from_le_bytes(b[8..10].try_into().ok()?)),
+            unique: u32::from_le_bytes(b[10..14].try_into().ok()?),
+        })
+    }
+
+    pub const ENCODED_LEN: usize = 14;
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}#{}",
+            self.file.0, self.page.0, self.slot.0, self.unique
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_roundtrip() {
+        let oid = Oid::new(FileId(7), PageId(123456), SlotId(42), 99);
+        let b = oid.to_bytes();
+        assert_eq!(Oid::from_bytes(&b), Some(oid));
+    }
+
+    #[test]
+    fn from_bytes_rejects_short_input() {
+        assert_eq!(Oid::from_bytes(&[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn null_oid_detected() {
+        assert!(Oid::NULL.is_null());
+        assert!(!Oid::new(FileId(1), PageId(0), SlotId(0), 0).is_null());
+    }
+
+    #[test]
+    fn ordering_is_file_page_slot() {
+        let a = Oid::new(FileId(1), PageId(2), SlotId(3), 0);
+        let b = Oid::new(FileId(1), PageId(3), SlotId(0), 0);
+        let c = Oid::new(FileId(2), PageId(0), SlotId(0), 0);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn display_format() {
+        let oid = Oid::new(FileId(1), PageId(2), SlotId(3), 4);
+        assert_eq!(oid.to_string(), "1:2:3#4");
+    }
+}

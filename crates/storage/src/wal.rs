@@ -1,0 +1,423 @@
+//! Write-ahead log (redo-only) and transaction bookkeeping.
+//!
+//! ESM gave MOOD "backup and recovery of data". We reproduce the property
+//! that matters to the kernel: after a crash, every *committed* transaction's
+//! page updates are restored and uncommitted ones vanish. The scheme is
+//! redo-only with after-images (no-steal at the transaction layer: dirty
+//! pages of open transactions are only flushed at commit):
+//!
+//! * during a transaction, each logical page write appends a
+//!   `PageImage { txn, file, page, bytes }` record;
+//! * `commit` appends a `Commit` record and forces the log;
+//! * recovery scans the log and re-applies the images of committed
+//!   transactions, in log order, to the disk.
+//!
+//! Record framing: `len:u32 | checksum:u32 | kind:u8 | txn:u64 | payload`.
+//! A torn tail (checksum or length mismatch) ends recovery at the last
+//! complete record, as a real log would.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::disk::Disk;
+use crate::error::{Result, StorageError};
+use crate::oid::{FileId, PageId};
+use crate::page::{Page, PAGE_SIZE};
+
+const KIND_PAGE_IMAGE: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+const KIND_ABORT: u8 = 3;
+
+/// Where log bytes live. In-memory for tests, a file for durability.
+pub trait LogStore: Send + Sync {
+    fn append(&self, bytes: &[u8]) -> Result<()>;
+    fn force(&self) -> Result<()>;
+    fn read_all(&self) -> Result<Vec<u8>>;
+    fn truncate(&self) -> Result<()>;
+}
+
+/// In-memory log store.
+#[derive(Default)]
+pub struct MemLog {
+    buf: Mutex<Vec<u8>>,
+}
+
+impl MemLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulate a torn write by dropping the last `n` bytes.
+    pub fn tear(&self, n: usize) {
+        let mut b = self.buf.lock();
+        let keep = b.len().saturating_sub(n);
+        b.truncate(keep);
+    }
+}
+
+impl LogStore for MemLog {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        self.buf.lock().extend_from_slice(bytes);
+        Ok(())
+    }
+    fn force(&self) -> Result<()> {
+        Ok(())
+    }
+    fn read_all(&self) -> Result<Vec<u8>> {
+        Ok(self.buf.lock().clone())
+    }
+    fn truncate(&self) -> Result<()> {
+        self.buf.lock().clear();
+        Ok(())
+    }
+}
+
+/// File-backed log store.
+pub struct FileLog {
+    path: std::path::PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl FileLog {
+    pub fn open(path: impl Into<std::path::PathBuf>) -> Result<Self> {
+        let path = path.into();
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)?;
+        Ok(FileLog {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+}
+
+impl LogStore for FileLog {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        use std::io::Write;
+        self.file.lock().write_all(bytes)?;
+        Ok(())
+    }
+    fn force(&self) -> Result<()> {
+        self.file.lock().sync_all()?;
+        Ok(())
+    }
+    fn read_all(&self) -> Result<Vec<u8>> {
+        Ok(std::fs::read(&self.path)?)
+    }
+    fn truncate(&self) -> Result<()> {
+        let f = std::fs::OpenOptions::new().write(true).open(&self.path)?;
+        f.set_len(0)?;
+        f.sync_all()?;
+        Ok(())
+    }
+}
+
+fn checksum(bytes: &[u8]) -> u32 {
+    // Fletcher-ish rolling sum: cheap, catches torn tails.
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    for &x in bytes {
+        a = a.wrapping_add(x as u32);
+        b = b.wrapping_add(a);
+    }
+    (b << 16) | (a & 0xFFFF)
+}
+
+/// Transaction identifier.
+pub type TxnId = u64;
+
+/// The write-ahead log.
+pub struct Wal {
+    store: Box<dyn LogStore>,
+    next_txn: AtomicU64,
+}
+
+impl Wal {
+    pub fn new(store: Box<dyn LogStore>) -> Self {
+        Wal {
+            store,
+            next_txn: AtomicU64::new(1),
+        }
+    }
+
+    pub fn begin(&self) -> TxnId {
+        self.next_txn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn frame(kind: u8, txn: TxnId, payload: &[u8]) -> Vec<u8> {
+        let body_len = 1 + 8 + payload.len();
+        let mut rec = Vec::with_capacity(8 + body_len);
+        rec.extend_from_slice(&(body_len as u32).to_le_bytes());
+        let mut body = Vec::with_capacity(body_len);
+        body.push(kind);
+        body.extend_from_slice(&txn.to_le_bytes());
+        body.extend_from_slice(payload);
+        rec.extend_from_slice(&checksum(&body).to_le_bytes());
+        rec.extend_from_slice(&body);
+        rec
+    }
+
+    /// Log the after-image of a page write.
+    pub fn log_page_write(
+        &self,
+        txn: TxnId,
+        file: FileId,
+        page: PageId,
+        data: &Page,
+    ) -> Result<()> {
+        let mut payload = Vec::with_capacity(8 + PAGE_SIZE);
+        payload.extend_from_slice(&file.0.to_le_bytes());
+        payload.extend_from_slice(&page.0.to_le_bytes());
+        payload.extend_from_slice(&data.data[..]);
+        self.store
+            .append(&Self::frame(KIND_PAGE_IMAGE, txn, &payload))
+    }
+
+    /// Commit: append the record and force the log to stable storage.
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        self.store.append(&Self::frame(KIND_COMMIT, txn, &[]))?;
+        self.store.force()
+    }
+
+    /// Abort: appended for log completeness; recovery ignores the txn.
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        self.store.append(&Self::frame(KIND_ABORT, txn, &[]))
+    }
+
+    /// Replay committed transactions' page images onto `disk`.
+    ///
+    /// Returns the number of pages restored. Stops cleanly at a torn tail.
+    pub fn recover(&self, disk: &dyn Disk) -> Result<usize> {
+        let bytes = self.store.read_all()?;
+        let mut records: Vec<(u8, TxnId, Vec<u8>)> = Vec::new();
+        let mut off = 0usize;
+        while off + 8 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            let sum = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+            if off + 8 + len > bytes.len() {
+                break; // torn tail
+            }
+            let body = &bytes[off + 8..off + 8 + len];
+            if checksum(body) != sum || len < 9 {
+                break; // corrupt tail
+            }
+            let kind = body[0];
+            let txn = u64::from_le_bytes(body[1..9].try_into().unwrap());
+            records.push((kind, txn, body[9..].to_vec()));
+            off += 8 + len;
+        }
+        let committed: std::collections::HashSet<TxnId> = records
+            .iter()
+            .filter(|(k, _, _)| *k == KIND_COMMIT)
+            .map(|(_, t, _)| *t)
+            .collect();
+        let mut restored = 0usize;
+        for (kind, txn, payload) in &records {
+            if *kind != KIND_PAGE_IMAGE || !committed.contains(txn) {
+                continue;
+            }
+            if payload.len() != 8 + PAGE_SIZE {
+                return Err(StorageError::WalCorrupt { offset: off as u64 });
+            }
+            let file = FileId(u32::from_le_bytes(payload[0..4].try_into().unwrap()));
+            let page = PageId(u32::from_le_bytes(payload[4..8].try_into().unwrap()));
+            // Files/pages may not exist yet on the recovered disk image.
+            // File ids are allocated sequentially, so creating files walks
+            // the id space toward `file`; bail out if the disk's allocator
+            // has already moved past it (mismatched disk image).
+            let mut guard = file.0 as u64 + 1;
+            while !disk.files().contains(&file) {
+                let made = disk.create_file()?;
+                if made.0 > file.0 || guard == 0 {
+                    return Err(StorageError::WalCorrupt { offset: off as u64 });
+                }
+                guard -= 1;
+            }
+            while disk.page_count(file)? <= page.0 {
+                disk.allocate_page(file)?;
+            }
+            let mut p = Page::new();
+            p.data.copy_from_slice(&payload[8..]);
+            disk.write_page(file, page, &p)?;
+            restored += 1;
+        }
+        Ok(restored)
+    }
+
+    /// Checkpoint: the caller has flushed the disk; the log can restart.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.store.truncate()
+    }
+
+    /// Raw log size in bytes (for tests and the admin tool).
+    pub fn size(&self) -> Result<usize> {
+        Ok(self.store.read_all()?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn page_with(b: u8) -> Page {
+        let mut p = Page::new();
+        p.data.fill(b);
+        p
+    }
+
+    #[test]
+    fn committed_txn_is_replayed() {
+        let log = MemLog::new();
+        // Share the log between "before crash" and "after crash" via reads.
+        let wal = Wal::new(Box::new(log));
+        let disk = MemDisk::new();
+        let f = disk.create_file().unwrap();
+        disk.allocate_page(f).unwrap();
+
+        let t = wal.begin();
+        wal.log_page_write(t, f, PageId(0), &page_with(0xAA))
+            .unwrap();
+        wal.commit(t).unwrap();
+
+        // Crash: the disk never saw the write. Recover from the log.
+        let restored = wal.recover(&disk).unwrap();
+        assert_eq!(restored, 1);
+        let mut p = Page::new();
+        disk.read_page(f, PageId(0), &mut p).unwrap();
+        assert_eq!(p.data[100], 0xAA);
+    }
+
+    #[test]
+    fn uncommitted_txn_is_ignored() {
+        let wal = Wal::new(Box::new(MemLog::new()));
+        let disk = MemDisk::new();
+        let f = disk.create_file().unwrap();
+        disk.allocate_page(f).unwrap();
+
+        let t = wal.begin();
+        wal.log_page_write(t, f, PageId(0), &page_with(0xBB))
+            .unwrap();
+        // no commit
+        assert_eq!(wal.recover(&disk).unwrap(), 0);
+        let mut p = Page::new();
+        disk.read_page(f, PageId(0), &mut p).unwrap();
+        assert_eq!(p.data[0], 0, "uncommitted image not applied");
+    }
+
+    #[test]
+    fn aborted_txn_is_ignored() {
+        let wal = Wal::new(Box::new(MemLog::new()));
+        let disk = MemDisk::new();
+        let f = disk.create_file().unwrap();
+        disk.allocate_page(f).unwrap();
+        let t = wal.begin();
+        wal.log_page_write(t, f, PageId(0), &page_with(0xCC))
+            .unwrap();
+        wal.abort(t).unwrap();
+        assert_eq!(wal.recover(&disk).unwrap(), 0);
+    }
+
+    #[test]
+    fn replay_is_in_log_order_last_write_wins() {
+        let wal = Wal::new(Box::new(MemLog::new()));
+        let disk = MemDisk::new();
+        let f = disk.create_file().unwrap();
+        disk.allocate_page(f).unwrap();
+        let t1 = wal.begin();
+        wal.log_page_write(t1, f, PageId(0), &page_with(1)).unwrap();
+        wal.commit(t1).unwrap();
+        let t2 = wal.begin();
+        wal.log_page_write(t2, f, PageId(0), &page_with(2)).unwrap();
+        wal.commit(t2).unwrap();
+        assert_eq!(wal.recover(&disk).unwrap(), 2);
+        let mut p = Page::new();
+        disk.read_page(f, PageId(0), &mut p).unwrap();
+        assert_eq!(p.data[0], 2);
+    }
+
+    #[test]
+    fn torn_tail_stops_recovery_cleanly() {
+        let log = std::sync::Arc::new(MemLog::new());
+        struct Shared(std::sync::Arc<MemLog>);
+        impl LogStore for Shared {
+            fn append(&self, b: &[u8]) -> Result<()> {
+                self.0.append(b)
+            }
+            fn force(&self) -> Result<()> {
+                self.0.force()
+            }
+            fn read_all(&self) -> Result<Vec<u8>> {
+                self.0.read_all()
+            }
+            fn truncate(&self) -> Result<()> {
+                self.0.truncate()
+            }
+        }
+        let wal = Wal::new(Box::new(Shared(log.clone())));
+        let disk = MemDisk::new();
+        let f = disk.create_file().unwrap();
+        disk.allocate_page(f).unwrap();
+        let t1 = wal.begin();
+        wal.log_page_write(t1, f, PageId(0), &page_with(7)).unwrap();
+        wal.commit(t1).unwrap();
+        let t2 = wal.begin();
+        wal.log_page_write(t2, f, PageId(0), &page_with(9)).unwrap();
+        wal.commit(t2).unwrap();
+        // Tear into the middle of t2's commit record.
+        log.tear(5);
+        // t2's commit is incomplete → only t1 replays.
+        assert_eq!(wal.recover(&disk).unwrap(), 1);
+        let mut p = Page::new();
+        disk.read_page(f, PageId(0), &mut p).unwrap();
+        assert_eq!(p.data[0], 7);
+    }
+
+    #[test]
+    fn recovery_recreates_missing_pages() {
+        let wal = Wal::new(Box::new(MemLog::new()));
+        let disk = MemDisk::new();
+        let f = disk.create_file().unwrap();
+        // Log writes to page 3 of a file that only has 0 pages on the
+        // recovered image.
+        let t = wal.begin();
+        wal.log_page_write(t, f, PageId(3), &page_with(5)).unwrap();
+        wal.commit(t).unwrap();
+        assert_eq!(wal.recover(&disk).unwrap(), 1);
+        assert_eq!(disk.page_count(f).unwrap(), 4);
+    }
+
+    #[test]
+    fn checkpoint_truncates() {
+        let wal = Wal::new(Box::new(MemLog::new()));
+        let t = wal.begin();
+        wal.log_page_write(t, FileId(1), PageId(0), &page_with(1))
+            .unwrap();
+        wal.commit(t).unwrap();
+        assert!(wal.size().unwrap() > 0);
+        wal.checkpoint().unwrap();
+        assert_eq!(wal.size().unwrap(), 0);
+    }
+
+    #[test]
+    fn file_log_roundtrip() {
+        let path = std::env::temp_dir().join(format!("mood-wal-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = Wal::new(Box::new(FileLog::open(&path).unwrap()));
+            let t = wal.begin();
+            wal.log_page_write(t, FileId(1), PageId(0), &page_with(0x42))
+                .unwrap();
+            wal.commit(t).unwrap();
+        }
+        {
+            let wal = Wal::new(Box::new(FileLog::open(&path).unwrap()));
+            let disk = MemDisk::new();
+            assert_eq!(wal.recover(&disk).unwrap(), 1);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

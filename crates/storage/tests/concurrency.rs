@@ -1,0 +1,183 @@
+//! Concurrency tests for the storage substrate: the buffer pool's
+//! checked-out/condvar protocol under contention, and multi-threaded heap
+//! and index traffic.
+
+use std::sync::Arc;
+
+use mood_storage::{
+    AccessKind, BTree, BufferPool, Disk, DiskMetrics, HeapFile, MemDisk, Oid, SlottedPage,
+};
+
+#[test]
+fn same_page_writers_serialize_through_checkout() {
+    // Many threads increment a counter on one page; the checked-out
+    // protocol must serialize the read-modify-write callbacks.
+    let disk = Arc::new(MemDisk::new());
+    let pool = Arc::new(BufferPool::new(disk.clone(), 4, DiskMetrics::new()));
+    let f = disk.create_file().unwrap();
+    let (pid, _) = pool
+        .new_page(f, |p| p.data[0..4].copy_from_slice(&0u32.to_le_bytes()))
+        .unwrap();
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let pool = pool.clone();
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..250 {
+                pool.with_page_mut(f, pid, AccessKind::Random, |p| {
+                    let v = u32::from_le_bytes(p.data[0..4].try_into().unwrap());
+                    std::thread::yield_now(); // widen the race window
+                    p.data[0..4].copy_from_slice(&(v + 1).to_le_bytes());
+                })
+                .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let v = pool
+        .with_page(f, pid, AccessKind::Random, |p| {
+            u32::from_le_bytes(p.data[0..4].try_into().unwrap())
+        })
+        .unwrap();
+    assert_eq!(v, 2000, "no lost updates under contention");
+}
+
+#[test]
+fn eviction_storm_with_concurrent_readers() {
+    // A 2-frame pool with 16 pages and 8 reader threads: constant eviction
+    // while pages are checked out must never corrupt data.
+    let disk = Arc::new(MemDisk::new());
+    let pool = Arc::new(BufferPool::new(disk.clone(), 2, DiskMetrics::new()));
+    let f = disk.create_file().unwrap();
+    let mut pids = Vec::new();
+    for i in 0..16u8 {
+        let (pid, _) = pool.new_page(f, |p| p.data.fill(i)).unwrap();
+        pids.push(pid);
+    }
+    let pids = Arc::new(pids);
+    let mut handles = Vec::new();
+    for t in 0..8usize {
+        let pool = pool.clone();
+        let pids = pids.clone();
+        handles.push(std::thread::spawn(move || {
+            for round in 0..300usize {
+                let i = (t * 31 + round * 7) % pids.len();
+                let expect = i as u8;
+                let got = pool
+                    .with_page(f, pids[i], AccessKind::Random, |p| {
+                        (p.data[0], p.data[4000])
+                    })
+                    .unwrap();
+                assert_eq!(got, (expect, expect), "page {i} corrupted");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_heap_inserts_are_all_retrievable() {
+    let disk = Arc::new(MemDisk::new());
+    let pool = Arc::new(BufferPool::new(disk, 8, DiskMetrics::new()));
+    let heap = Arc::new(HeapFile::create(pool).unwrap());
+    let mut handles = Vec::new();
+    for t in 0..6u8 {
+        let heap = heap.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut oids: Vec<(Oid, Vec<u8>)> = Vec::new();
+            for i in 0..150u32 {
+                let payload = format!("t{t}-rec{i}").into_bytes();
+                let oid = heap.insert(&payload).unwrap();
+                oids.push((oid, payload));
+            }
+            oids
+        }));
+    }
+    let mut all = Vec::new();
+    for h in handles {
+        all.extend(h.join().unwrap());
+    }
+    assert_eq!(all.len(), 900);
+    for (oid, payload) in &all {
+        assert_eq!(&heap.get(*oid).unwrap(), payload);
+    }
+    assert_eq!(heap.count().unwrap(), 900);
+    // Every OID is distinct.
+    let distinct: std::collections::HashSet<Oid> = all.iter().map(|(o, _)| *o).collect();
+    assert_eq!(distinct.len(), 900);
+}
+
+#[test]
+fn concurrent_btree_readers_during_inserts() {
+    let disk = Arc::new(MemDisk::new());
+    let pool = Arc::new(BufferPool::new(disk, 64, DiskMetrics::new()));
+    let tree = Arc::new(BTree::create(pool, false).unwrap());
+    fn oid(n: u32) -> Oid {
+        Oid::new(
+            mood_storage::FileId(5),
+            mood_storage::PageId(n),
+            mood_storage::SlotId(0),
+            1,
+        )
+    }
+    // Preload a stable prefix readers can always find.
+    for i in 0..500u32 {
+        tree.insert(&i.to_be_bytes(), oid(i)).unwrap();
+    }
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let tree = tree.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut i = 500u32;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) && i < 4000 {
+                tree.insert(&i.to_be_bytes(), oid(i)).unwrap();
+                i += 1;
+            }
+        })
+    };
+    for round in 0..800u32 {
+        let k = round % 500;
+        let got = tree.lookup(&k.to_be_bytes()).unwrap();
+        assert_eq!(got, vec![oid(k)], "stable key {k} must stay visible");
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    writer.join().unwrap();
+}
+
+#[test]
+fn slotted_page_invariants_after_mixed_workload() {
+    // Single-threaded structural check complementing the prop tests: fill,
+    // riddle with holes, compact implicitly, and confirm accounting.
+    let mut page = mood_storage::Page::new();
+    SlottedPage::init(&mut page);
+    let mut live = Vec::new();
+    for i in 0..60u8 {
+        if let Ok((slot, stamp)) = SlottedPage::insert(&mut page, &vec![i; 40 + i as usize]) {
+            live.push((slot, stamp, i));
+        }
+    }
+    for (k, (slot, _, _)) in live.clone().iter().enumerate() {
+        if k % 2 == 0 {
+            SlottedPage::delete(&mut page, *slot).unwrap();
+        }
+    }
+    live.retain(|(s, _, _)| {
+        SlottedPage::get_any(&page, *s)
+            .map(|c| !matches!(c, mood_storage::page::SlotContent::Free))
+            .unwrap_or(false)
+    });
+    // total_free never exceeds the page and survivors stay intact.
+    assert!(SlottedPage::total_free(&page) < 4096);
+    for (slot, stamp, tag) in live {
+        match SlottedPage::get(&page, slot, stamp).unwrap() {
+            mood_storage::page::SlotContent::Record(bytes) => {
+                assert!(bytes.iter().all(|b| *b == tag));
+            }
+            other => panic!("live slot lost: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! The Function Manager in action (Section 2): methods added, redefined
+//! and crashed at run time while the "server" keeps serving — the paper's
+//! case for dividing labor between the SQL interpreter and a compiler.
+//!
+//! ```sh
+//! cargo run -p mood-core --example dynamic_methods
+//! ```
+
+use std::sync::Arc;
+
+use mood_core::{MethodSig, Mood, TypeDescriptor, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Mood::in_memory();
+    db.execute("CREATE CLASS Vehicle TUPLE (id Integer, weight Integer)")?;
+    db.execute("CREATE CLASS Automobile INHERITS FROM Vehicle")?;
+    db.execute("new Vehicle <1, 1000>")?;
+    db.execute("new Automobile <2, 800>")?;
+
+    // 1. Define a method from source at run time. "Compilation" (parsing)
+    //    happens now; the server never restarts.
+    db.execute("DEFINE METHOD Vehicle::lbweight() RETURNS Float AS 'weight * 2.2075'")?;
+    let mut cur = db.query("SELECT v.id, v.lbweight() FROM EVERY Vehicle v ORDER BY v.id")?;
+    println!("== lbweight v1 ==");
+    while let Some(row) = cur.next() {
+        println!("  vehicle {} → {}", row[0], row[1]);
+    }
+
+    // 2. Late binding: Automobile inherits lbweight; an override shadows
+    //    it immediately, chosen by the receiver's *dynamic* class.
+    db.execute("DEFINE METHOD Automobile::lbweight() RETURNS Float AS 'weight * 2.2075 + 0.5'")?;
+    let mut cur = db.query("SELECT v.id, v.lbweight() FROM EVERY Vehicle v ORDER BY v.id")?;
+    println!("\n== after Automobile override (late binding) ==");
+    while let Some(row) = cur.next() {
+        println!("  vehicle {} → {}", row[0], row[1]);
+    }
+
+    // 3. Compile errors surface at definition time, not call time.
+    let err = db
+        .execute("DEFINE METHOD Vehicle::broken() RETURNS Integer AS 'weight +'")
+        .unwrap_err();
+    println!("\n== compile error caught at DEFINE time ==\n  {err}");
+
+    // 4. A native method that crashes: the paper's Exception class turns
+    //    the "signal" into an error; the server survives.
+    db.register_native_method(
+        "Vehicle",
+        MethodSig::new("crashy", TypeDescriptor::integer(), vec![]),
+        Arc::new(|_recv, _args, _res| panic!("simulated SIGSEGV in user C++ code")),
+    )?;
+    let oid = {
+        let mood_core::Answer::Created(Value::Ref(oid)) = db.execute("new Vehicle <3, 5>")? else {
+            unreachable!()
+        };
+        oid
+    };
+    // Silence the default panic hook: the Exception machinery catches the
+    // unwind; the hook would only print noise.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let err = db.invoke(oid, "crashy", &[]).unwrap_err();
+    std::panic::set_hook(hook);
+    println!("\n== native method crash becomes an Exception ==\n  {err}");
+    // ... and the very next query still works:
+    let cur = db.query("SELECT v FROM EVERY Vehicle v")?;
+    println!("  server still answering: {} vehicles", cur.len());
+
+    // 5. The dld simulation: functions load once per scope.
+    let loads = |db: &Mood| {
+        db.funcman()
+            .stats()
+            .loads
+            .load(std::sync::atomic::Ordering::Relaxed)
+    };
+    db.funcman().end_scope(); // start a fresh scope for the measurement
+    let before = loads(&db);
+    db.query("SELECT v.lbweight() FROM Vehicle v")?;
+    db.query("SELECT v.lbweight() FROM Vehicle v")?;
+    println!(
+        "\n== dld loads for 2 queries: {} (loaded once, cached) ==",
+        loads(&db) - before
+    );
+    db.funcman().end_scope();
+    db.query("SELECT v.lbweight() FROM Vehicle v")?;
+    println!(
+        "== after scope end, next call reloads: {} total ==",
+        loads(&db) - before
+    );
+    Ok(())
+}

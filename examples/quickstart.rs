@@ -1,0 +1,62 @@
+//! Quickstart: define a schema, create objects, query, explain.
+//!
+//! ```sh
+//! cargo run -p mood-core --example quickstart
+//! ```
+
+use mood_core::{Answer, Mood};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An in-memory MOOD database. `Mood::open("path")` gives a persistent
+    // one with the same API.
+    let db = Mood::in_memory();
+
+    // DDL — the MOODSQL data definition language of Section 3.1.
+    db.execute("CREATE CLASS Employee TUPLE (ssno Integer, name String(32), age Integer)")?;
+    db.execute("CREATE CLASS Manager INHERITS FROM Employee")?;
+
+    // Objects — the `new` statement the paper's MoodView issues (§9.4).
+    db.execute("new Employee <1, 'Asuman Dogac', 50>")?;
+    db.execute("new Employee <2, 'Cetin Ozkan', 35>")?;
+    db.execute("new Employee <3, 'Budak Arpinar', 28>")?;
+    db.execute("new Manager <4, 'Tansel Okay', 45>")?;
+
+    // Ad-hoc queries. EVERY includes subclass extents (IS-A).
+    println!("== employees over 30 (EVERY Employee) ==");
+    let mut cur = db
+        .query("SELECT e.name, e.age FROM EVERY Employee e WHERE e.age > 30 ORDER BY e.age DESC")?;
+    while let Some(row) = cur.next() {
+        println!("  {} ({})", row[0], row[1]);
+    }
+
+    // A method defined at run time — no server restart (Section 2's
+    // Function Manager).
+    db.execute("DEFINE METHOD Employee::retirement_years() RETURNS Integer AS '65 - age'")?;
+    println!("\n== years to retirement ==");
+    let mut cur =
+        db.query("SELECT e.name, e.retirement_years() FROM EVERY Employee e ORDER BY e.ssno")?;
+    while let Some(row) = cur.next() {
+        println!("  {}: {}", row[0], row[1]);
+    }
+
+    // Aggregation.
+    let Answer::Rows(r) = db.execute("SELECT COUNT(*), AVG(e.age) FROM EVERY Employee e")? else {
+        unreachable!()
+    };
+    println!(
+        "\n== count / average age == {} / {}",
+        r.rows[0][0], r.rows[0][1]
+    );
+
+    // The optimizer's access plan, in the paper's notation.
+    println!("\n== access plan ==");
+    print!(
+        "{}",
+        db.explain("SELECT e FROM EVERY Employee e WHERE e.age = 28")?
+    );
+
+    // The MoodView hierarchy browser, headless.
+    println!("\n== class hierarchy ==");
+    print!("{}", db.render_hierarchy());
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Headless MoodView (Section 9): hierarchy browser, class cards, generic
+//! object presentation, and the query manager with history.
+//!
+//! ```sh
+//! cargo run -p mood-core --example schema_browser
+//! ```
+
+use mood_core::{view, Mood, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Mood::in_memory();
+    for ddl in [
+        "CREATE CLASS VehicleEngine TUPLE (size Integer, cylinders Integer)",
+        "CREATE CLASS VehicleDriveTrain TUPLE (engine REFERENCE (VehicleEngine), \
+         transmission String(32))",
+        "CREATE CLASS Vehicle TUPLE (id Integer, weight Integer, \
+         drivetrain REFERENCE (VehicleDriveTrain)) METHODS: lbweight () Float,",
+        "CREATE CLASS Automobile INHERITS FROM Vehicle",
+        "CREATE CLASS Truck INHERITS FROM Vehicle",
+        "CREATE CLASS JapaneseAuto INHERITS FROM Automobile",
+    ] {
+        db.execute(ddl)?;
+    }
+
+    // Figure 9.1(c): the class hierarchy browser.
+    println!("== class hierarchy (ASCII) ==");
+    print!("{}", db.render_hierarchy());
+
+    println!("\n== class hierarchy (Graphviz DOT — pipe to `dot -Tsvg`) ==");
+    print!("{}", db.render_hierarchy_dot());
+
+    // Figure 9.2(b): the class presentation card, inherited members marked.
+    println!("\n== class card: JapaneseAuto ==");
+    print!("{}", db.render_class("JapaneseAuto")?);
+
+    // Figure 9.3: generic object presentation walking references.
+    let engine = db.new_object(
+        "VehicleEngine",
+        Value::tuple(vec![
+            ("size", Value::Integer(1998)),
+            ("cylinders", Value::Integer(4)),
+        ]),
+    )?;
+    let train = db.new_object(
+        "VehicleDriveTrain",
+        Value::tuple(vec![
+            ("engine", Value::Ref(engine)),
+            ("transmission", Value::string("AUTOMATIC")),
+        ]),
+    )?;
+    let car = db.new_object(
+        "JapaneseAuto",
+        Value::tuple(vec![
+            ("id", Value::Integer(1)),
+            ("weight", Value::Integer(1100)),
+            ("drivetrain", Value::Ref(train)),
+        ]),
+    )?;
+    println!("\n== generic object presentation (depth 2) ==");
+    print!("{}", db.render_object(car, 2));
+
+    // Section 9.4: the name/type/value cursor-buffer protocol MoodView
+    // synthesizes widgets from.
+    println!("\n== attribute triplets (the kernel↔MoodView buffer) ==");
+    for t in view::object_triplets(db.catalog(), car)? {
+        println!("  {:<12} {:<40} {}", t.name, t.type_name, t.value);
+    }
+
+    // Section 9.3: the query manager with history.
+    println!("\n== query manager session ==");
+    let mut qm = view::QueryManager::new(db.catalog().clone(), db.funcman().clone());
+    qm.run("SELECT v FROM EVERY Vehicle v")?;
+    qm.run("SELECT v.weight FROM EVERY Vehicle v WHERE v.weight > 1000")?;
+    let _ = qm.run("SELECT broken FROM Nowhere x"); // recorded as failed
+    for (i, h) in qm.history().iter().enumerate() {
+        println!(
+            "  [{i}] {} — {} ({} rows)",
+            if h.ok { "ok " } else { "ERR" },
+            h.sql,
+            h.rows
+        );
+    }
+    println!("  re-running [1]:");
+    let answer = qm.rerun(1)?;
+    if let mood_core::Answer::Rows(r) = answer {
+        println!("  → {} rows", r.len());
+    }
+    Ok(())
+}
