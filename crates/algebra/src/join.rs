@@ -11,6 +11,7 @@ use std::collections::{HashMap, HashSet};
 
 use mood_catalog::Catalog;
 use mood_datamodel::Value;
+use mood_storage::exec::{run_chunked, ExecutionConfig};
 use mood_storage::Oid;
 
 use crate::collection::{join_return, Collection, Kind, Obj};
@@ -23,6 +24,7 @@ pub use mood_cost::JoinMethod;
 /// executor fetches referenced objects directly by pointer — the common
 /// `BIND(Class, d)` plan leaf) or a materialized collection (a prior
 /// operator's output; membership is enforced).
+#[derive(Debug, Clone, Copy)]
 pub enum JoinRhs<'a> {
     Class(&'a str),
     Collection(&'a Collection),
@@ -53,6 +55,25 @@ pub fn materialize(catalog: &Catalog, c: &Collection) -> Result<Vec<Obj>> {
         Collection::NamedObject(o) => vec![o.clone()],
         Collection::Empty => Vec::new(),
     })
+}
+
+/// Chunk-parallel [`materialize`]: set/list members are dereferenced on
+/// worker threads in contiguous chunks, concatenated in input order — the
+/// same object vector the sequential loop builds, with the same number of
+/// page accesses (each identifier dereferenced exactly once).
+pub fn materialize_par(
+    catalog: &Catalog,
+    c: &Collection,
+    exec: ExecutionConfig,
+) -> Result<Vec<Obj>> {
+    match c {
+        Collection::Set(oids) | Collection::List(oids) if exec.is_parallel() => {
+            run_chunked(exec.parallelism, oids, |_, chunk| {
+                chunk.iter().map(|&oid| deref(catalog, oid)).collect()
+            })
+        }
+        other => materialize(catalog, other),
+    }
 }
 
 struct Rhs {
@@ -143,6 +164,29 @@ pub fn join(
     }
 }
 
+/// Chunk-parallel [`join`]: identical pairs in identical order, with the
+/// same *total* page-access counts as the sequential method (the accesses
+/// are redistributed across worker threads, never multiplied — see each
+/// method's strategy below).
+pub fn join_par(
+    catalog: &Catalog,
+    left: &Collection,
+    attr: &str,
+    rhs: JoinRhs<'_>,
+    method: JoinMethod,
+    exec: ExecutionConfig,
+) -> Result<Vec<(Obj, Obj)>> {
+    if !exec.is_parallel() {
+        return join(catalog, left, attr, rhs, method);
+    }
+    match method {
+        JoinMethod::ForwardTraversal => forward_par(catalog, left, attr, rhs, exec),
+        JoinMethod::BackwardTraversal => backward_par(catalog, left, attr, rhs, exec),
+        JoinMethod::BinaryJoinIndex => indexed_par(catalog, left, attr, rhs, exec),
+        JoinMethod::HashPartition => hash_partition_par(catalog, left, attr, rhs, exec),
+    }
+}
+
 /// Forward traversal: for each left object, chase `attr`'s reference(s) and
 /// fetch the target (one random access per reference; §6.1's pattern).
 fn forward(
@@ -173,6 +217,96 @@ fn forward(
         }
     }
     Ok(out)
+}
+
+/// Parallel forward traversal.
+///
+/// * Class rhs: the sequential method clears its target cache between left
+///   objects (every reference pays its fetch), so left chunks are fully
+///   independent — each worker runs the sequential loop with its own `Rhs`
+///   over its chunk. Total fetches: one per reference, same as sequential.
+/// * Collection rhs: the sequential method keeps its cache, fetching each
+///   distinct qualifying target once. The parallel version performs those
+///   fetches in one sequential warm-up pass (first-encounter order — the
+///   exact access sequence of the sequential method), then emits pairs from
+///   the read-only cache on worker threads.
+fn forward_par(
+    catalog: &Catalog,
+    left: &Collection,
+    attr: &str,
+    rhs: JoinRhs<'_>,
+    exec: ExecutionConfig,
+) -> Result<Vec<(Obj, Obj)>> {
+    let left_objs = materialize(catalog, left)?;
+    match &rhs {
+        JoinRhs::Class(class) => {
+            let class = class.to_string();
+            run_chunked(exec.parallelism, &left_objs, |_, chunk| {
+                let mut rhs = Rhs {
+                    allowed: None,
+                    cache: HashMap::new(),
+                    class: Some(class.clone()),
+                };
+                let mut out = Vec::new();
+                for l in chunk {
+                    rhs.cache.clear();
+                    let Some(v) = l.value.field(attr) else {
+                        continue;
+                    };
+                    for oid in ref_oids(v) {
+                        if let Some(r) = rhs.fetch(catalog, oid)? {
+                            out.push((l.clone(), r));
+                        }
+                    }
+                }
+                Ok(out)
+            })
+        }
+        JoinRhs::Collection(_) => {
+            let mut warm = Rhs::build(catalog, &rhs)?;
+            for l in &left_objs {
+                if let Some(v) = l.value.field(attr) {
+                    for oid in ref_oids(v) {
+                        let _ = warm.fetch(catalog, oid)?;
+                    }
+                }
+            }
+            emit_cached_pairs(&left_objs, attr, &warm, exec)
+        }
+    }
+}
+
+/// Emit join pairs for left objects against a fully warmed `Rhs` (every
+/// qualifying target already cached) on worker threads. Purely CPU work —
+/// no page accesses happen here.
+fn emit_cached_pairs(
+    left_objs: &[Obj],
+    attr: &str,
+    rhs: &Rhs,
+    exec: ExecutionConfig,
+) -> Result<Vec<(Obj, Obj)>> {
+    run_chunked(exec.parallelism, left_objs, |_, chunk| {
+        let mut out = Vec::new();
+        for l in chunk {
+            let Some(v) = l.value.field(attr) else {
+                continue;
+            };
+            for oid in ref_oids(v) {
+                if let Some(allowed) = &rhs.allowed {
+                    if !allowed.contains(&oid) {
+                        continue;
+                    }
+                }
+                // Qualifying targets were cached by the warm-up pass; a
+                // qualifying-but-uncached OID is a dangling reference and
+                // produces no pair, as in the sequential method.
+                if let Some(r) = rhs.cache.get(&oid) {
+                    out.push((l.clone(), r.clone()));
+                }
+            }
+        }
+        Ok(out)
+    })
 }
 
 /// Backward traversal: sequentially scan the *left* class extent and test
@@ -215,6 +349,48 @@ fn backward(
         }
     }
     Ok(out)
+}
+
+/// Parallel backward traversal: the right side is materialized up front by
+/// the same sequential scan the sequential method performs (that scan *is*
+/// the §6.2 access pattern — parallelizing it would change the page-access
+/// ordering); the subsequent reference-membership testing is pure CPU work
+/// and runs on worker threads over left chunks.
+fn backward_par(
+    catalog: &Catalog,
+    left: &Collection,
+    attr: &str,
+    rhs: JoinRhs<'_>,
+    exec: ExecutionConfig,
+) -> Result<Vec<(Obj, Obj)>> {
+    let left_objs = materialize(catalog, left)?;
+    let mut warm = match rhs {
+        JoinRhs::Class(class) => {
+            let mut allowed = HashSet::new();
+            let mut cache = HashMap::new();
+            for (oid, value) in catalog.extent(class)? {
+                allowed.insert(oid);
+                cache.insert(oid, Obj::stored(oid, value));
+            }
+            Rhs {
+                allowed: Some(allowed),
+                cache,
+                class: None,
+            }
+        }
+        other => Rhs::build(catalog, &other)?,
+    };
+    // Collection rhs built from a set/list has membership but no cached
+    // objects yet; warm it in first-encounter order (the sequential access
+    // sequence) so emission needs no further page accesses.
+    for l in &left_objs {
+        if let Some(v) = l.value.field(attr) {
+            for oid in ref_oids(v) {
+                let _ = warm.fetch(catalog, oid)?;
+            }
+        }
+    }
+    emit_cached_pairs(&left_objs, attr, &warm, exec)
 }
 
 /// Indexed join through the *binary join index* on (left-class, attr): for
@@ -268,6 +444,60 @@ fn indexed(
     Ok(out)
 }
 
+/// Parallel indexed join: index probes are read-only, so right objects are
+/// probed on worker threads in contiguous chunks. Each right object is
+/// probed exactly once either way (same index page-access total), the
+/// chunk-ordered concatenation reproduces the sequential right-major pair
+/// order, and the final stable sort by left OID is shared with the
+/// sequential method — identical output.
+fn indexed_par(
+    catalog: &Catalog,
+    left: &Collection,
+    attr: &str,
+    rhs: JoinRhs<'_>,
+    exec: ExecutionConfig,
+) -> Result<Vec<(Obj, Obj)>> {
+    let left_objs = materialize(catalog, left)?;
+    let Some(first_oid) = left_objs.iter().find_map(|o| o.oid) else {
+        return Ok(Vec::new());
+    };
+    let (left_class, _) = catalog.get_object(first_oid)?;
+    let left_filter: HashSet<Oid> = left_objs.iter().filter_map(|o| o.oid).collect();
+    let left_by_oid: HashMap<Oid, &Obj> = left_objs
+        .iter()
+        .filter_map(|o| o.oid.map(|id| (id, o)))
+        .collect();
+
+    let right_objs: Vec<Obj> = match rhs {
+        JoinRhs::Collection(c) => materialize(catalog, c)?,
+        JoinRhs::Class(c) => catalog
+            .extent(c)?
+            .into_iter()
+            .map(|(oid, v)| Obj::stored(oid, v))
+            .collect(),
+    };
+    if catalog.index(&left_class, attr).is_none() {
+        return Err(AlgebraError::NotApplicable {
+            operator: "Join(BINARY_JOIN_INDEX)",
+            detail: format!("no binary join index on {left_class}.{attr}"),
+        });
+    }
+    let mut out = run_chunked(exec.parallelism, &right_objs, |_, chunk| {
+        let mut pairs = Vec::new();
+        for r in chunk {
+            let Some(r_oid) = r.oid else { continue };
+            for l_oid in catalog.index_lookup(&left_class, attr, &Value::Ref(r_oid))? {
+                if left_filter.contains(&l_oid) {
+                    pairs.push(((*left_by_oid[&l_oid]).clone(), r.clone()));
+                }
+            }
+        }
+        Ok::<_, AlgebraError>(pairs)
+    })?;
+    out.sort_by_key(|(l, _)| l.oid);
+    Ok(out)
+}
+
 /// Pointer-based hash-partition join (§6.4): partition the left objects on
 /// the pointer field, then chase each *distinct* pointer once and emit all
 /// pairs for that target. Only applicable when `attr` is a plain Reference
@@ -280,7 +510,25 @@ fn hash_partition(
 ) -> Result<Vec<(Obj, Obj)>> {
     let mut rhs = Rhs::build(catalog, &rhs)?;
     let left_objs = materialize(catalog, left)?;
-    // Partition phase: group left objects by referenced OID.
+    let partitions = partition_on_ref(&left_objs, attr)?;
+    // Probe phase: each distinct target fetched once.
+    let mut keys: Vec<Oid> = partitions.keys().copied().collect();
+    keys.sort();
+    let mut out = Vec::new();
+    for oid in keys {
+        if let Some(r) = rhs.fetch(catalog, oid)? {
+            for &i in &partitions[&oid] {
+                out.push((left_objs[i].clone(), r.clone()));
+            }
+        }
+    }
+    out.sort_by_key(|(l, _)| l.oid);
+    Ok(out)
+}
+
+/// Partition phase shared by the sequential and parallel hash-partition
+/// join: group left-object indices by referenced OID.
+fn partition_on_ref(left_objs: &[Obj], attr: &str) -> Result<HashMap<Oid, Vec<usize>>> {
     let mut partitions: HashMap<Oid, Vec<usize>> = HashMap::new();
     for (i, l) in left_objs.iter().enumerate() {
         let Some(v) = l.value.field(attr) else {
@@ -300,17 +548,44 @@ fn hash_partition(
             _ => {}
         }
     }
-    // Probe phase: each distinct target fetched once.
+    Ok(partitions)
+}
+
+/// Parallel hash-partition join: the partition phase is shared, then the
+/// *sorted distinct keys* are split into contiguous chunks probed on worker
+/// threads. Workers hold disjoint key sets, so each target is still fetched
+/// exactly once globally (per-worker `Rhs` state never overlaps); the
+/// chunk-ordered concatenation reproduces the sequential key-order pair
+/// stream, and the shared final stable sort by left OID makes the output
+/// identical.
+fn hash_partition_par(
+    catalog: &Catalog,
+    left: &Collection,
+    attr: &str,
+    rhs: JoinRhs<'_>,
+    exec: ExecutionConfig,
+) -> Result<Vec<(Obj, Obj)>> {
+    let base = Rhs::build(catalog, &rhs)?;
+    let left_objs = materialize(catalog, left)?;
+    let partitions = partition_on_ref(&left_objs, attr)?;
     let mut keys: Vec<Oid> = partitions.keys().copied().collect();
     keys.sort();
-    let mut out = Vec::new();
-    for oid in keys {
-        if let Some(r) = rhs.fetch(catalog, oid)? {
-            for &i in &partitions[&oid] {
-                out.push((left_objs[i].clone(), r.clone()));
+    let mut out = run_chunked(exec.parallelism, &keys, |_, chunk| {
+        let mut rhs = Rhs {
+            allowed: base.allowed.clone(),
+            cache: base.cache.clone(),
+            class: base.class.clone(),
+        };
+        let mut pairs = Vec::new();
+        for &oid in chunk {
+            if let Some(r) = rhs.fetch(catalog, oid)? {
+                for &i in &partitions[&oid] {
+                    pairs.push((left_objs[i].clone(), r.clone()));
+                }
             }
         }
-    }
+        Ok::<_, AlgebraError>(pairs)
+    })?;
     out.sort_by_key(|(l, _)| l.oid);
     Ok(out)
 }

@@ -24,11 +24,19 @@ pub use collection::{
     setop_return, unnest_accepts, Collection, Kind, Obj,
 };
 pub use error::{AlgebraError, Result};
-pub use join::{join, materialize, pairs_to_collection, JoinMethod, JoinRhs};
+pub use join::{
+    join, join_par, materialize, materialize_par, pairs_to_collection, JoinMethod, JoinRhs,
+};
+pub use mood_storage::exec::ExecutionConfig;
 pub use ops::{
-    bind, bind_class, deref, ind_sel, is_a, obj_id, select, type_id, IndexType, Predicate,
+    bind, bind_class, deref, ind_sel, is_a, obj_id, select, select_par, type_id, IndexType,
+    Predicate, SyncPredicate,
 };
 pub use restructure::{
-    as_extent, as_list, as_set, flatten, nest, partition, project, sort, unnest,
+    as_extent, as_list, as_set, flatten, nest, partition, project, project_par, sort, sort_par,
+    unnest,
 };
-pub use setops::{difference, dup_elim, intersection, union};
+pub use setops::{
+    difference, difference_par, dup_elim, dup_elim_par, intersection, intersection_par, union,
+    union_par,
+};

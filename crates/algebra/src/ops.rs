@@ -3,6 +3,7 @@
 
 use mood_catalog::{Catalog, TypeId};
 use mood_datamodel::Value;
+use mood_storage::exec::{run_chunked, ExecutionConfig};
 use mood_storage::Oid;
 
 use crate::collection::{Collection, Obj};
@@ -10,6 +11,10 @@ use crate::error::{AlgebraError, Result};
 
 /// A predicate over one object.
 pub type Predicate<'a> = &'a dyn Fn(&Obj) -> Result<bool>;
+
+/// A predicate usable from worker threads (same contract as [`Predicate`],
+/// plus `Sync` so chunks can evaluate it concurrently).
+pub type SyncPredicate<'a> = &'a (dyn Fn(&Obj) -> Result<bool> + Sync);
 
 /// `ObjId(o)` — the object identifier of `o`.
 pub fn obj_id(o: &Obj) -> Option<Oid> {
@@ -139,6 +144,53 @@ pub fn select(catalog: &Catalog, arg: &Collection, p: Predicate<'_>) -> Result<C
             }
         }
         Collection::Empty => Collection::Empty,
+    })
+}
+
+/// Chunk-parallel [`select`]: the input collection is split into contiguous
+/// chunks filtered on worker threads and concatenated in chunk order, so the
+/// survivors appear in exactly the sequential order (set results go through
+/// the same `set_from` normalization as the sequential operator).
+pub fn select_par(
+    catalog: &Catalog,
+    arg: &Collection,
+    p: SyncPredicate<'_>,
+    exec: ExecutionConfig,
+) -> Result<Collection> {
+    if !exec.is_parallel() {
+        return select(catalog, arg, &|o| p(o));
+    }
+    Ok(match arg {
+        Collection::Extent(objs) => {
+            let out = run_chunked(exec.parallelism, objs, |_, chunk| {
+                let mut keep = Vec::new();
+                for o in chunk {
+                    if p(o)? {
+                        keep.push(o.clone());
+                    }
+                }
+                Ok::<_, AlgebraError>(keep)
+            })?;
+            Collection::Extent(out)
+        }
+        Collection::Set(oids) | Collection::List(oids) => {
+            let out = run_chunked(exec.parallelism, oids, |_, chunk| {
+                let mut keep = Vec::new();
+                for &oid in chunk {
+                    let o = deref(catalog, oid)?;
+                    if p(&o)? {
+                        keep.push(oid);
+                    }
+                }
+                Ok::<_, AlgebraError>(keep)
+            })?;
+            if matches!(arg, Collection::Set(_)) {
+                Collection::set_from(out)
+            } else {
+                Collection::List(out)
+            }
+        }
+        other => select(catalog, other, &|o| p(o))?,
     })
 }
 

@@ -5,11 +5,12 @@ use std::collections::BinaryHeap;
 
 use mood_catalog::Catalog;
 use mood_datamodel::{encode_key, Value};
+use mood_storage::exec::{run_chunked, ExecutionConfig};
 use mood_storage::Oid;
 
 use crate::collection::{Collection, Obj};
 use crate::error::{AlgebraError, Result};
-use crate::join::materialize;
+use crate::join::{materialize, materialize_par};
 
 /// `Project(aTupleCollection, attribute_list)` — relational-style projection
 /// over an extent / set / list of tuple-type objects (set/list elements are
@@ -18,24 +19,49 @@ use crate::join::materialize;
 pub fn project(catalog: &Catalog, arg: &Collection, attributes: &[&str]) -> Result<Collection> {
     let objs = materialize(catalog, arg)?;
     let mut out = Vec::with_capacity(objs.len());
-    for o in objs {
-        let Value::Tuple(fields) = &o.value else {
-            return Err(AlgebraError::NotApplicable {
-                operator: "Project",
-                detail: format!("element {} is not a tuple", o.value),
-            });
-        };
-        let mut projected = Vec::with_capacity(attributes.len());
-        for a in attributes {
-            let v = fields
-                .iter()
-                .find(|(n, _)| n == a)
-                .map(|(_, v)| v.clone())
-                .unwrap_or(Value::Null);
-            projected.push((a.to_string(), v));
-        }
-        out.push(Obj::transient(Value::Tuple(projected)));
+    for o in &objs {
+        out.push(project_one(o, attributes)?);
     }
+    Ok(Collection::Extent(out))
+}
+
+/// Project a single tuple object (the per-element body of [`project`]).
+fn project_one(o: &Obj, attributes: &[&str]) -> Result<Obj> {
+    let Value::Tuple(fields) = &o.value else {
+        return Err(AlgebraError::NotApplicable {
+            operator: "Project",
+            detail: format!("element {} is not a tuple", o.value),
+        });
+    };
+    let mut projected = Vec::with_capacity(attributes.len());
+    for a in attributes {
+        let v = fields
+            .iter()
+            .find(|(n, _)| n == a)
+            .map(|(_, v)| v.clone())
+            .unwrap_or(Value::Null);
+        projected.push((a.to_string(), v));
+    }
+    Ok(Obj::transient(Value::Tuple(projected)))
+}
+
+/// Chunk-parallel [`project`]: elements are independent, so the input is
+/// split into contiguous chunks projected on worker threads and concatenated
+/// in chunk order — output identical to the sequential operator. The first
+/// non-tuple element (in input order) still wins as the reported error.
+pub fn project_par(
+    catalog: &Catalog,
+    arg: &Collection,
+    attributes: &[&str],
+    exec: ExecutionConfig,
+) -> Result<Collection> {
+    if !exec.is_parallel() {
+        return project(catalog, arg, attributes);
+    }
+    let objs = materialize_par(catalog, arg, exec)?;
+    let out = run_chunked(exec.parallelism, &objs, |_, chunk| {
+        chunk.iter().map(|o| project_one(o, attributes)).collect()
+    })?;
     Ok(Collection::Extent(out))
 }
 
@@ -85,24 +111,69 @@ fn group_key(v: &Value, attributes: &[&str]) -> Result<Vec<u8>> {
 /// the dereferenced objects' keys; extents sort the objects.
 pub fn sort(catalog: &Catalog, arg: &Collection, attributes: &[&str]) -> Result<Collection> {
     let objs = materialize(catalog, arg)?;
-    let mut keyed: Vec<(Vec<u8>, Obj)> = Vec::with_capacity(objs.len());
-    for o in objs {
-        keyed.push((group_key(&o.value, attributes)?, o));
-    }
+    let keyed = key_objects(objs, attributes)?;
     let sorted = heapsort_with_merging(keyed);
-    Ok(match arg {
-        Collection::Set(_) => Collection::List(sorted.iter().filter_map(|(_, o)| o.oid).collect()),
-        Collection::List(_) => Collection::List(sorted.iter().filter_map(|(_, o)| o.oid).collect()),
+    Ok(sorted_to_collection(arg, sorted))
+}
+
+/// Chunk-parallel [`sort`]: contiguous input chunks are key-extracted and
+/// sorted on worker threads, then k-way merged. Because the sort key is
+/// `(attribute key, input index)` — the same total order the sequential
+/// heapsort uses — the merged result is identical to the sequential output,
+/// including the relative order of equal attribute keys.
+pub fn sort_par(
+    catalog: &Catalog,
+    arg: &Collection,
+    attributes: &[&str],
+    exec: ExecutionConfig,
+) -> Result<Collection> {
+    if !exec.is_parallel() {
+        return sort(catalog, arg, attributes);
+    }
+    let objs = materialize_par(catalog, arg, exec)?;
+    let indexed: Vec<(usize, Obj)> = objs.into_iter().enumerate().collect();
+    // Each chunk becomes one pre-sorted run (note the `vec![run]` wrapper:
+    // run_chunked concatenates the per-chunk outputs, so each worker
+    // contributes exactly one element — its run).
+    let runs = run_chunked(exec.parallelism, &indexed, |_, chunk| {
+        let mut run: Vec<(SortKey, Obj)> = chunk
+            .iter()
+            .map(|(i, o)| Ok(((group_key(&o.value, attributes)?, *i), o.clone())))
+            .collect::<Result<_>>()?;
+        run.sort_unstable_by(|(a, _), (b, _)| a.cmp(b));
+        Ok::<_, AlgebraError>(vec![run])
+    })?;
+    let sorted = merge_runs(runs);
+    Ok(sorted_to_collection(arg, sorted))
+}
+
+/// A sort key: the encoded attribute key plus the element's input position.
+/// The index makes every key distinct, which is what lets the sequential
+/// heapsort and the parallel chunk-sort-and-merge agree bit for bit.
+type SortKey = (Vec<u8>, usize);
+
+fn key_objects(objs: Vec<Obj>, attributes: &[&str]) -> Result<Vec<(SortKey, Obj)>> {
+    objs.into_iter()
+        .enumerate()
+        .map(|(i, o)| Ok(((group_key(&o.value, attributes)?, i), o)))
+        .collect()
+}
+
+fn sorted_to_collection(arg: &Collection, sorted: Vec<(SortKey, Obj)>) -> Collection {
+    match arg {
+        Collection::Set(_) | Collection::List(_) => {
+            Collection::List(sorted.iter().filter_map(|(_, o)| o.oid).collect())
+        }
         _ => Collection::Extent(sorted.into_iter().map(|(_, o)| o).collect()),
-    })
+    }
 }
 
 /// Heap sort with run merging: build bounded heaps (runs), then k-way merge
 /// — the external-sort structure MOOD used, executed in memory.
-fn heapsort_with_merging(items: Vec<(Vec<u8>, Obj)>) -> Vec<(Vec<u8>, Obj)> {
+fn heapsort_with_merging(items: Vec<(SortKey, Obj)>) -> Vec<(SortKey, Obj)> {
     const RUN: usize = 1024;
     // Phase 1: replacement-selection-style run formation with a heap.
-    let mut runs: Vec<Vec<(Vec<u8>, Obj)>> = Vec::new();
+    let mut runs: Vec<Vec<(SortKey, Obj)>> = Vec::new();
     let mut iter = items.into_iter().peekable();
     while iter.peek().is_some() {
         let mut heap: BinaryHeap<std::cmp::Reverse<HeapItem>> = BinaryHeap::new();
@@ -118,37 +189,38 @@ fn heapsort_with_merging(items: Vec<(Vec<u8>, Obj)>) -> Vec<(Vec<u8>, Obj)> {
         }
         runs.push(run);
     }
-    // Phase 2: k-way merge of the sorted runs through a heap of cursors.
-    let mut cursors: Vec<std::vec::IntoIter<(Vec<u8>, Obj)>> =
+    // Phase 2: k-way merge of the sorted runs.
+    merge_runs(runs)
+}
+
+/// K-way merge of sorted runs through a heap of cursors. Sort keys are
+/// distinct (they embed the input index), so the merge order is total.
+fn merge_runs(runs: Vec<Vec<(SortKey, Obj)>>) -> Vec<(SortKey, Obj)> {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut cursors: Vec<std::vec::IntoIter<(SortKey, Obj)>> =
         runs.into_iter().map(|r| r.into_iter()).collect();
-    let mut heads: BinaryHeap<std::cmp::Reverse<(Vec<u8>, usize, usize)>> = BinaryHeap::new();
-    let mut staged: Vec<Option<Obj>> = Vec::new();
-    let mut seq = 0usize;
-    let pull = |i: usize,
-                cursors: &mut Vec<std::vec::IntoIter<(Vec<u8>, Obj)>>,
-                staged: &mut Vec<Option<Obj>>,
-                heads: &mut BinaryHeap<std::cmp::Reverse<(Vec<u8>, usize, usize)>>,
-                seq: &mut usize| {
-        if let Some((k, o)) = cursors[i].next() {
-            staged.push(Some(o));
-            heads.push(std::cmp::Reverse((k, *seq, i)));
-            *seq += 1;
+    let mut heads: BinaryHeap<std::cmp::Reverse<(SortKey, usize)>> = BinaryHeap::new();
+    let mut staged: Vec<Option<Obj>> = vec![None; cursors.len()];
+    for (i, c) in cursors.iter_mut().enumerate() {
+        if let Some((k, o)) = c.next() {
+            staged[i] = Some(o);
+            heads.push(std::cmp::Reverse((k, i)));
         }
-    };
-    for i in 0..cursors.len() {
-        pull(i, &mut cursors, &mut staged, &mut heads, &mut seq);
     }
-    let mut out = Vec::new();
-    while let Some(std::cmp::Reverse((k, s, i))) = heads.pop() {
-        let obj = staged[s].take().expect("staged once");
+    let mut out = Vec::with_capacity(total);
+    while let Some(std::cmp::Reverse((k, i))) = heads.pop() {
+        let obj = staged[i].take().expect("staged once");
         out.push((k, obj));
-        pull(i, &mut cursors, &mut staged, &mut heads, &mut seq);
+        if let Some((k, o)) = cursors[i].next() {
+            staged[i] = Some(o);
+            heads.push(std::cmp::Reverse((k, i)));
+        }
     }
     out
 }
 
 struct HeapItem {
-    key: Vec<u8>,
+    key: SortKey,
     obj: Obj,
 }
 

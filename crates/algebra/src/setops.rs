@@ -5,6 +5,7 @@ use std::collections::HashSet;
 
 use mood_catalog::Catalog;
 use mood_datamodel::deep_eq;
+use mood_storage::exec::{run_chunked, ExecutionConfig};
 use mood_storage::Oid;
 
 use crate::collection::{Collection, Obj};
@@ -47,6 +48,77 @@ pub fn dup_elim(catalog: &Catalog, arg: &Collection) -> Result<Collection> {
             Ok(Collection::Extent(kept))
         }
         Collection::NamedObject(_) | Collection::Empty => Ok(arg.clone()),
+    }
+}
+
+/// Chunk-parallel [`dup_elim`].
+///
+/// * List: chunks are sorted and deduplicated on worker threads, then
+///   merged — the merged result is the same sorted distinct list.
+/// * Extent: each chunk removes its *local* duplicates on a worker thread
+///   (deep equality, first occurrence kept); a sequential cross-chunk pass
+///   then re-checks the survivors in input order against everything kept so
+///   far. First occurrences are decided in input order in both passes, so
+///   the result is identical to the sequential operator.
+pub fn dup_elim_par(catalog: &Catalog, arg: &Collection, exec: ExecutionConfig) -> Result<Collection> {
+    if !exec.is_parallel() {
+        return dup_elim(catalog, arg);
+    }
+    match arg {
+        Collection::List(oids) => {
+            let chunks: Vec<Vec<Oid>> = run_chunked(exec.parallelism, oids, |_, chunk| {
+                let mut sorted = chunk.to_vec();
+                sorted.sort();
+                sorted.dedup();
+                Ok::<_, AlgebraError>(vec![sorted])
+            })?;
+            let mut merged: Vec<Oid> = Vec::with_capacity(oids.len());
+            for run in chunks {
+                merged.extend(run);
+            }
+            merged.sort();
+            merged.dedup();
+            Ok(Collection::List(merged))
+        }
+        Collection::Extent(objs) => {
+            let survivors: Vec<Obj> = run_chunked(exec.parallelism, objs, |_, chunk| {
+                let mut kept: Vec<Obj> = Vec::new();
+                let mut seen_oids: HashSet<Oid> = HashSet::new();
+                'outer: for o in chunk {
+                    if let Some(oid) = o.oid {
+                        if !seen_oids.insert(oid) {
+                            continue;
+                        }
+                    }
+                    for k in &kept {
+                        if deep_eq(&o.value, &k.value, catalog) {
+                            continue 'outer;
+                        }
+                    }
+                    kept.push(o.clone());
+                }
+                Ok::<_, AlgebraError>(kept)
+            })?;
+            // Cross-chunk pass: survivors arrive in input order; duplicates
+            // spanning chunk boundaries are caught here.
+            let mut kept: Vec<Obj> = Vec::new();
+            let mut seen_oids: HashSet<Oid> = HashSet::new();
+            'outer: for o in survivors {
+                if let Some(oid) = o.oid {
+                    if !seen_oids.insert(oid) {
+                        continue;
+                    }
+                }
+                for k in &kept {
+                    if deep_eq(&o.value, &k.value, catalog) {
+                        continue 'outer;
+                    }
+                }
+                kept.push(o);
+            }
+            Ok(Collection::Extent(kept))
+        }
+        other => dup_elim(catalog, other),
     }
 }
 
@@ -104,6 +176,65 @@ pub fn difference(a: &Collection, b: &Collection) -> Result<Collection> {
     let (xa, xb) = (oids_of(a, "Difference")?, oids_of(b, "Difference")?);
     let set_b: HashSet<Oid> = xb.into_iter().collect();
     let rest: Vec<Oid> = xa.into_iter().filter(|o| !set_b.contains(o)).collect();
+    if both_lists(a, b) {
+        Ok(Collection::List(rest))
+    } else {
+        Ok(Collection::set_from(rest))
+    }
+}
+
+/// Chunk-parallel [`union`]. Union is pure concatenation (plus the shared
+/// `set_from` normalization when either operand is a set), so there is no
+/// per-element work to fan out — it delegates, and exists so every set
+/// operator has a uniform parallel entry point.
+pub fn union_par(a: &Collection, b: &Collection, _exec: ExecutionConfig) -> Result<Collection> {
+    union(a, b)
+}
+
+/// Chunk-parallel [`intersection`]: the right operand's membership set is
+/// built once, then the left operand is filtered in contiguous chunks on
+/// worker threads and concatenated in input order (the order-sensitive
+/// List∩List dedup stays sequential over that concatenation).
+pub fn intersection_par(
+    a: &Collection,
+    b: &Collection,
+    exec: ExecutionConfig,
+) -> Result<Collection> {
+    if !exec.is_parallel() {
+        return intersection(a, b);
+    }
+    let (xa, xb) = (oids_of(a, "Intersection")?, oids_of(b, "Intersection")?);
+    let set_b: HashSet<Oid> = xb.into_iter().collect();
+    let common = run_chunked(exec.parallelism, &xa, |_, chunk| {
+        Ok::<_, AlgebraError>(chunk.iter().copied().filter(|o| set_b.contains(o)).collect())
+    })?;
+    if both_lists(a, b) {
+        let mut seen = HashSet::new();
+        Ok(Collection::List(
+            common.into_iter().filter(|o| seen.insert(*o)).collect(),
+        ))
+    } else {
+        Ok(Collection::set_from(common))
+    }
+}
+
+/// Chunk-parallel [`difference`]: same strategy as [`intersection_par`]
+/// with the membership test negated.
+pub fn difference_par(a: &Collection, b: &Collection, exec: ExecutionConfig) -> Result<Collection> {
+    if !exec.is_parallel() {
+        return difference(a, b);
+    }
+    let (xa, xb) = (oids_of(a, "Difference")?, oids_of(b, "Difference")?);
+    let set_b: HashSet<Oid> = xb.into_iter().collect();
+    let rest = run_chunked(exec.parallelism, &xa, |_, chunk| {
+        Ok::<_, AlgebraError>(
+            chunk
+                .iter()
+                .copied()
+                .filter(|o| !set_b.contains(o))
+                .collect(),
+        )
+    })?;
     if both_lists(a, b) {
         Ok(Collection::List(rest))
     } else {

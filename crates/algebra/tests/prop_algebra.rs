@@ -9,8 +9,9 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use mood_algebra::{
-    difference, dup_elim, intersection, join, nest, sort, union, unnest, Collection, JoinMethod,
-    JoinRhs, Obj,
+    difference, difference_par, dup_elim, dup_elim_par, intersection, intersection_par, join,
+    join_par, nest, project, project_par, select, select_par, sort, sort_par, union, union_par,
+    unnest, Collection, ExecutionConfig, JoinMethod, JoinRhs, Obj,
 };
 use mood_catalog::{Catalog, ClassBuilder};
 use mood_datamodel::{TypeDescriptor, Value};
@@ -208,5 +209,209 @@ proptest! {
             prop_assert_eq!(&w[0], &w[1], "join methods disagree");
         }
         prop_assert_eq!(outcomes[0].len(), refs.len(), "every C joins exactly once");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Sequential equivalence of the chunk-parallel operators: at every
+// parallelism in {1, 2, 4, 8} the `_par` variant must return a result
+// identical (including element order) to the sequential operator.
+// ----------------------------------------------------------------------
+
+const PAR_LEVELS: [usize; 4] = [1, 2, 4, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn select_par_equals_select(
+        perm in proptest::collection::vec(0usize..30, 0..40),
+        modulus in 2i32..5,
+    ) {
+        let (cat, oids) = catalog_with_items(30);
+        let extent = Collection::Extent(
+            perm.iter()
+                .map(|&i| {
+                    let (_, v) = cat.get_object(oids[i]).unwrap();
+                    Obj::stored(oids[i], v)
+                })
+                .collect(),
+        );
+        let list = Collection::List(perm.iter().map(|&i| oids[i]).collect());
+        let pred = |o: &Obj| -> mood_algebra::Result<bool> {
+            Ok(matches!(o.value.field("k"), Some(Value::Integer(k)) if k % modulus == 0))
+        };
+        for arg in [&extent, &list] {
+            let seq = select(&cat, arg, &|o| pred(o)).unwrap();
+            for p in PAR_LEVELS {
+                let par =
+                    select_par(&cat, arg, &pred, ExecutionConfig::with_parallelism(p)).unwrap();
+                prop_assert_eq!(&par, &seq, "select parallelism={}", p);
+            }
+        }
+    }
+
+    #[test]
+    fn project_par_equals_project(perm in proptest::collection::vec(0usize..30, 0..40)) {
+        let (cat, oids) = catalog_with_items(30);
+        let extent = Collection::Extent(
+            perm.iter()
+                .map(|&i| {
+                    let (_, v) = cat.get_object(oids[i]).unwrap();
+                    Obj::stored(oids[i], v)
+                })
+                .collect(),
+        );
+        let seq = project(&cat, &extent, &["grp"]).unwrap();
+        for p in PAR_LEVELS {
+            let par =
+                project_par(&cat, &extent, &["grp"], ExecutionConfig::with_parallelism(p))
+                    .unwrap();
+            prop_assert_eq!(&par, &seq, "project parallelism={}", p);
+        }
+    }
+
+    #[test]
+    fn sort_par_equals_sort(perm in proptest::collection::vec(0usize..30, 0..60)) {
+        let (cat, oids) = catalog_with_items(30);
+        // Duplicates in `perm` exercise the stability tiebreak: `grp` has
+        // only three distinct values, so equal-key runs are long.
+        let extent = Collection::Extent(
+            perm.iter()
+                .map(|&i| {
+                    let (_, v) = cat.get_object(oids[i]).unwrap();
+                    Obj::stored(oids[i], v)
+                })
+                .collect(),
+        );
+        for keys in [&["k"][..], &["grp"][..], &["grp", "k"][..]] {
+            let seq = sort(&cat, &extent, keys).unwrap();
+            for p in PAR_LEVELS {
+                let par =
+                    sort_par(&cat, &extent, keys, ExecutionConfig::with_parallelism(p)).unwrap();
+                prop_assert_eq!(&par, &seq, "sort {:?} parallelism={}", keys, p);
+            }
+        }
+    }
+
+    #[test]
+    fn dup_elim_par_equals_dup_elim(items in proptest::collection::vec(0usize..10, 0..40)) {
+        let (cat, oids) = catalog_with_items(10);
+        let list = Collection::List(items.iter().map(|&i| oids[i]).collect());
+        let extent = Collection::Extent(
+            items
+                .iter()
+                .map(|&i| {
+                    let (_, v) = cat.get_object(oids[i]).unwrap();
+                    Obj::stored(oids[i], v)
+                })
+                .collect(),
+        );
+        for arg in [&list, &extent] {
+            let seq = dup_elim(&cat, arg).unwrap();
+            for p in PAR_LEVELS {
+                let par = dup_elim_par(&cat, arg, ExecutionConfig::with_parallelism(p)).unwrap();
+                prop_assert_eq!(&par, &seq, "dup_elim parallelism={}", p);
+            }
+        }
+    }
+
+    #[test]
+    fn set_ops_par_equal_sequential(
+        xs in proptest::collection::vec(0usize..20, 0..25),
+        ys in proptest::collection::vec(0usize..20, 0..25),
+    ) {
+        let (_cat, oids) = catalog_with_items(20);
+        let a = Collection::set_from(xs.iter().map(|&i| oids[i]).collect());
+        let b = Collection::set_from(ys.iter().map(|&i| oids[i]).collect());
+        let la = Collection::List(xs.iter().map(|&i| oids[i]).collect());
+        let lb = Collection::List(ys.iter().map(|&i| oids[i]).collect());
+        for (x, y) in [(&a, &b), (&la, &lb)] {
+            let seq_u = union(x, y).unwrap();
+            let seq_i = intersection(x, y).unwrap();
+            let seq_d = difference(x, y).unwrap();
+            for p in PAR_LEVELS {
+                let exec = ExecutionConfig::with_parallelism(p);
+                prop_assert_eq!(&union_par(x, y, exec).unwrap(), &seq_u, "union p={}", p);
+                prop_assert_eq!(
+                    &intersection_par(x, y, exec).unwrap(),
+                    &seq_i,
+                    "intersection p={}",
+                    p
+                );
+                prop_assert_eq!(
+                    &difference_par(x, y, exec).unwrap(),
+                    &seq_d,
+                    "difference p={}",
+                    p
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn join_par_equals_join_for_every_method(
+        n_d in 1usize..10,
+        refs in proptest::collection::vec(0usize..10, 1..30),
+    ) {
+        let sm = Arc::new(StorageManager::in_memory());
+        let cat = Arc::new(Catalog::create(sm).unwrap());
+        cat.define_class(
+            ClassBuilder::class("D").attribute("id", TypeDescriptor::integer()),
+        )
+        .unwrap();
+        cat.define_class(
+            ClassBuilder::class("C")
+                .attribute("id", TypeDescriptor::integer())
+                .attribute("d", TypeDescriptor::reference("D")),
+        )
+        .unwrap();
+        cat.create_index("C", "d", mood_catalog::IndexKind::BTree, false).unwrap();
+        let d_oids: Vec<Oid> = (0..n_d)
+            .map(|i| {
+                cat.new_object("D", Value::tuple(vec![("id", Value::Integer(i as i32))]))
+                    .unwrap()
+            })
+            .collect();
+        for (i, &r) in refs.iter().enumerate() {
+            cat.new_object(
+                "C",
+                Value::tuple(vec![
+                    ("id", Value::Integer(i as i32)),
+                    ("d", Value::Ref(d_oids[r % n_d])),
+                ]),
+            )
+            .unwrap();
+        }
+        let left = mood_algebra::bind_class(&cat, "C", false, &[]).unwrap();
+        let d_set = Collection::set_from(d_oids.clone());
+        for method in JoinMethod::ALL {
+            for rhs in [JoinRhs::Class("D"), JoinRhs::Collection(&d_set)] {
+                let seq = join(&cat, &left, "d", rhs, method).unwrap();
+                for p in PAR_LEVELS {
+                    let par = join_par(
+                        &cat,
+                        &left,
+                        "d",
+                        rhs,
+                        method,
+                        ExecutionConfig::with_parallelism(p),
+                    )
+                    .unwrap();
+                    prop_assert_eq!(
+                        &par,
+                        &seq,
+                        "join {:?} rhs={:?} parallelism={}",
+                        method,
+                        match rhs { JoinRhs::Class(_) => "class", _ => "collection" },
+                        p
+                    );
+                }
+            }
+        }
     }
 }

@@ -183,6 +183,13 @@ impl Mood {
         *s = fresh;
     }
 
+    /// Set the worker count for the chunk-parallel execution path (1 =
+    /// sequential, the default). Parallel runs produce byte-identical
+    /// results and unchanged page-access totals.
+    pub fn set_parallelism(&self, parallelism: usize) {
+        self.session.lock().set_parallelism(parallelism);
+    }
+
     // ------------------------------------------------------------------
     // Direct component access
     // ------------------------------------------------------------------

@@ -230,4 +230,45 @@ mod tests {
         assert!(o_overlap(1000.0, 20.0, 10.0) > base);
         assert!(o_overlap(1000.0, 10.0, 20.0) > base);
     }
+
+    #[test]
+    fn c_approx_r_equals_one() {
+        // r=1: a single probe hits a single color whenever m ≥ 2 (first
+        // branch, r < m/2); with m=1 every probe lands on the only color.
+        assert_eq!(c_approx(1000.0, 100.0, 1.0), 1.0);
+        assert_eq!(c_approx(1000.0, 2.0, 1.0), 1.0); // boundary r = m/2 → (1+2)/3
+        // Degenerate m=1: r=1 falls in the middle branch, (1+1)/3 — the
+        // approximation undershoots the true value (1) there, a known
+        // property of the piecewise formula at tiny m.
+        assert!((c_approx(1000.0, 1.0, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn c_approx_hand_computed_middle_branch() {
+        // Hand-computed (r+m)/3 values straight from the Section 4.1 formula.
+        assert!((c_approx(500.0, 10.0, 7.0) - 17.0 / 3.0).abs() < 1e-12);
+        assert!((c_approx(500.0, 60.0, 100.0) - 160.0 / 3.0).abs() < 1e-12);
+        // n is immaterial to the approximation.
+        assert_eq!(c_approx(1.0, 60.0, 100.0), c_approx(1e9, 60.0, 100.0));
+    }
+
+    #[test]
+    fn o_overlap_x_plus_y_exceeds_t() {
+        // x + y > t with x,y < t: overlap is certain by pigeonhole —
+        // C(t−x, y) = 0 because fewer than y objects remain outside x.
+        assert_eq!(o_overlap(10.0, 6.0, 5.0), 1.0);
+        assert_eq!(o_overlap(10.0, 9.0, 2.0), 1.0);
+        // Exactly x + y = t leaves one disjoint arrangement: t=4, x=2, y=2
+        // → miss probability C(2,2)/C(4,2) = 1/6 < 1.
+        assert!(o_overlap(4.0, 2.0, 2.0) < 1.0);
+    }
+
+    #[test]
+    fn o_overlap_y_equals_one_is_x_over_t() {
+        // y=1: the single draw hits the x-set with probability x/t.
+        for (t, x) in [(10.0, 3.0), (100.0, 25.0), (20_000.0, 1.0)] {
+            let v = o_overlap(t, x, 1.0);
+            assert!((v - x / t).abs() < 1e-12, "t={t} x={x}: {v}");
+        }
+    }
 }

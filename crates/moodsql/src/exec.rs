@@ -15,6 +15,7 @@ use mood_cost::JoinMethod;
 use mood_datamodel::{encode_value, Value};
 use mood_funcman::{FunctionManager, OperandDataType};
 use mood_optimizer::{optimize, OptimizerConfig, Plan};
+use mood_storage::exec::run_chunked;
 use mood_storage::Oid;
 
 use crate::ast::{AggFunc, Expr, Lit, PathRef, SelectStmt};
@@ -55,11 +56,15 @@ impl QueryResult {
 }
 
 /// The executor.
+///
+/// The trace lives behind a `Mutex` (not a `RefCell`) so `&Executor` is
+/// `Sync` — parallel operator chunks evaluate predicates through a shared
+/// executor reference on worker threads.
 pub struct Executor<'a> {
     pub catalog: &'a Catalog,
     pub funcman: &'a FunctionManager,
     pub config: OptimizerConfig,
-    trace: std::cell::RefCell<Vec<String>>,
+    trace: std::sync::Mutex<Vec<String>>,
 }
 
 impl<'a> Executor<'a> {
@@ -68,7 +73,7 @@ impl<'a> Executor<'a> {
             catalog,
             funcman,
             config: OptimizerConfig::default(),
-            trace: std::cell::RefCell::new(Vec::new()),
+            trace: std::sync::Mutex::new(Vec::new()),
         }
     }
 
@@ -79,11 +84,37 @@ impl<'a> Executor<'a> {
 
     /// The stage trace of the last query (Figure 7.1/7.2 conformance).
     pub fn trace(&self) -> Vec<String> {
-        self.trace.borrow().clone()
+        self.trace.lock().expect("trace lock").clone()
     }
 
     fn mark(&self, stage: impl Into<String>) {
-        self.trace.borrow_mut().push(stage.into());
+        self.trace.lock().expect("trace lock").push(stage.into());
+    }
+
+    /// Filter rows by a predicate, in parallel when the execution config
+    /// asks for it. Chunks are concatenated in input order, so survivors
+    /// appear exactly as the sequential loop would emit them; the error
+    /// from the earliest failing row wins either way.
+    fn filter_rows(&self, rows: Vec<Row>, expr: &Expr) -> Result<Vec<Row>> {
+        let par = self.config.execution.parallelism;
+        if par <= 1 {
+            let mut kept = Vec::new();
+            for row in rows {
+                if self.eval_pred(expr, &row)? {
+                    kept.push(row);
+                }
+            }
+            return Ok(kept);
+        }
+        run_chunked(par, &rows, |_, chunk| {
+            let mut kept = Vec::new();
+            for row in chunk {
+                if self.eval_pred(expr, row)? {
+                    kept.push(row.clone());
+                }
+            }
+            Ok::<_, SqlError>(kept)
+        })
     }
 
     /// Optimize only: the plan text (the `EXPLAIN` statement).
@@ -112,7 +143,7 @@ impl<'a> Executor<'a> {
     // ------------------------------------------------------------------
 
     pub fn run_select(&self, stmt: &SelectStmt) -> Result<QueryResult> {
-        self.trace.borrow_mut().clear();
+        self.trace.lock().expect("trace lock").clear();
         let lowered = lower(self.catalog, stmt)?;
         self.mark("FROM");
         let mut rows = if lowered.unabsorbed.is_empty() {
@@ -271,13 +302,7 @@ impl<'a> Executor<'a> {
         let _ = lowered;
         if let Some(w) = &stmt.where_clause {
             self.mark("WHERE:SELECT");
-            let mut kept = Vec::new();
-            for row in rows {
-                if self.eval_pred(w, &row)? {
-                    kept.push(row);
-                }
-            }
-            rows = kept;
+            rows = self.filter_rows(rows, w)?;
         }
         Ok(rows)
     }
@@ -367,13 +392,7 @@ impl<'a> Executor<'a> {
                 self.mark("WHERE:SELECT");
                 let text = predicate.strip_prefix("__join__ ").unwrap_or(predicate);
                 let expr = parse_expr(text)?;
-                let mut kept = Vec::new();
-                for row in rows {
-                    if self.eval_pred(&expr, &row)? {
-                        kept.push(row);
-                    }
-                }
-                Ok(kept)
+                self.filter_rows(rows, &expr)
             }
             Plan::Join {
                 left,

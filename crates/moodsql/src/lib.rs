@@ -68,6 +68,20 @@ impl Session {
         self
     }
 
+    /// Set the worker count used by the chunk-parallel execution path.
+    ///
+    /// `1` (the default) runs every operator sequentially; values above 1
+    /// split row batches across scoped worker threads. Results are
+    /// byte-identical either way.
+    pub fn set_parallelism(&mut self, parallelism: usize) {
+        self.config = self.config.clone().with_parallelism(parallelism);
+    }
+
+    /// The currently configured worker count.
+    pub fn parallelism(&self) -> usize {
+        self.config.execution.parallelism
+    }
+
     pub fn catalog(&self) -> &Arc<Catalog> {
         &self.catalog
     }

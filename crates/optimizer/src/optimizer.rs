@@ -23,6 +23,7 @@ use mood_cost::{
     ClassInfo, Domain, IndexParams, JoinInputs, JoinMethod, PathHop, PathPredicate, PhysicalParams,
     Theta, DEFAULT_CPU_COST,
 };
+use mood_storage::ExecutionConfig;
 use mood_storage::PhysicalParams as Disk;
 
 use crate::atomic::{plan_atomic_selections, AtomicPredicate};
@@ -215,10 +216,16 @@ pub struct OptimizedQuery {
 const OTHER_SELECTIVITY: f64 = 0.5;
 
 /// Optimizer configuration.
+///
+/// `execution` does not influence plan choice — parallel operators produce
+/// identical results with identical page-access totals, so the §5/§6 cost
+/// formulas apply unchanged. It rides along here because the executor reads
+/// its operator settings from the same config the optimizer uses.
 #[derive(Debug, Clone)]
 pub struct OptimizerConfig {
     pub params: PhysicalParams,
     pub cpu_cost: f64,
+    pub execution: ExecutionConfig,
 }
 
 impl Default for OptimizerConfig {
@@ -226,6 +233,7 @@ impl Default for OptimizerConfig {
         OptimizerConfig {
             params: Disk::salzberg_1988(),
             cpu_cost: DEFAULT_CPU_COST,
+            execution: ExecutionConfig::default(),
         }
     }
 }
@@ -235,7 +243,14 @@ impl OptimizerConfig {
         OptimizerConfig {
             params: Disk::paper_calibrated(),
             cpu_cost: DEFAULT_CPU_COST,
+            execution: ExecutionConfig::default(),
         }
+    }
+
+    /// The same config with the given operator parallelism.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.execution = ExecutionConfig::with_parallelism(parallelism);
+        self
     }
 }
 

@@ -143,9 +143,21 @@ impl BufferPool {
                     break i;
                 }
                 None => {
+                    let i = match self.evict_one(&mut st) {
+                        Ok(i) => i,
+                        Err(StorageError::PoolExhausted) => {
+                            // Every frame is pinned by an in-flight callback.
+                            // Wait for one to be returned, then retry the
+                            // lookup (another thread may even load this page
+                            // for us in the meantime, turning this into a
+                            // hit).
+                            self.returned.wait(&mut st);
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    };
                     self.metrics.record_buffer_miss();
                     self.metrics.record_read(kind);
-                    let i = self.evict_one(&mut st)?;
                     self.disk.read_page(file, page, &mut st.frames[i].page)?;
                     st.frames[i].key = Some((file, page));
                     st.frames[i].dirty = false;

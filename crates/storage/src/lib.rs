@@ -26,6 +26,7 @@ pub mod btree;
 pub mod buffer;
 pub mod disk;
 pub mod error;
+pub mod exec;
 pub mod hash;
 pub mod heap;
 pub mod lock;
@@ -38,6 +39,7 @@ pub use btree::{BTree, BTreeStats};
 pub use buffer::BufferPool;
 pub use disk::{Disk, FaultyDisk, FileDisk, MemDisk};
 pub use error::{Result, StorageError};
+pub use exec::{chunk_ranges, run_chunked, ExecutionConfig};
 pub use hash::HashIndex;
 pub use heap::HeapFile;
 pub use lock::{LockManager, LockMode, OwnerId};

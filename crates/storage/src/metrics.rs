@@ -10,8 +10,12 @@
 //! reproduction compare measured access patterns against the paper's cost
 //! formulas on equal footing.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::ThreadId;
+
+use parking_lot::Mutex;
 
 use crate::page::PAGE_SIZE;
 
@@ -126,9 +130,17 @@ pub enum AccessKind {
 }
 
 /// Shared counters. Cloning shares the underlying counters (Arc).
+///
+/// Besides the process-wide totals, every access is also attributed to the
+/// recording thread, so parallel operators can report how page work was
+/// distributed across their workers. The totals are always the sum of the
+/// per-thread counts — parallel execution redistributes accesses between
+/// threads but must never change the totals the cost model is checked
+/// against.
 #[derive(Debug, Default, Clone)]
 pub struct DiskMetrics {
     inner: Arc<Counters>,
+    per_thread: Arc<Mutex<HashMap<ThreadId, Arc<Counters>>>>,
 }
 
 #[derive(Debug, Default)]
@@ -175,36 +187,75 @@ impl DiskMetrics {
         Self::default()
     }
 
-    pub fn record_read(&self, kind: AccessKind) {
-        let c = match kind {
-            AccessKind::Sequential => &self.inner.seq_pages,
-            AccessKind::Random => &self.inner.rnd_pages,
-            AccessKind::Index => &self.inner.idx_pages,
+    /// The counter block attributed to the calling thread, creating it on
+    /// first use. The lock is held only for the map lookup; the atomic bumps
+    /// happen outside it.
+    fn thread_counters(&self) -> Arc<Counters> {
+        let id = std::thread::current().id();
+        self.per_thread.lock().entry(id).or_default().clone()
+    }
+
+    fn bump_read(c: &Counters, kind: AccessKind) {
+        let field = match kind {
+            AccessKind::Sequential => &c.seq_pages,
+            AccessKind::Random => &c.rnd_pages,
+            AccessKind::Index => &c.idx_pages,
         };
-        c.fetch_add(1, Ordering::Relaxed);
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot_of(c: &Counters) -> MetricsSnapshot {
+        MetricsSnapshot {
+            seq_pages: c.seq_pages.load(Ordering::Relaxed),
+            rnd_pages: c.rnd_pages.load(Ordering::Relaxed),
+            idx_pages: c.idx_pages.load(Ordering::Relaxed),
+            writes: c.writes.load(Ordering::Relaxed),
+            buffer_hits: c.buffer_hits.load(Ordering::Relaxed),
+            buffer_misses: c.buffer_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    pub fn record_read(&self, kind: AccessKind) {
+        Self::bump_read(&self.inner, kind);
+        Self::bump_read(&self.thread_counters(), kind);
     }
 
     pub fn record_write(&self) {
         self.inner.writes.fetch_add(1, Ordering::Relaxed);
+        self.thread_counters().writes.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn record_buffer_hit(&self) {
         self.inner.buffer_hits.fetch_add(1, Ordering::Relaxed);
+        self.thread_counters()
+            .buffer_hits
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn record_buffer_miss(&self) {
         self.inner.buffer_misses.fetch_add(1, Ordering::Relaxed);
+        self.thread_counters()
+            .buffer_misses
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot {
-            seq_pages: self.inner.seq_pages.load(Ordering::Relaxed),
-            rnd_pages: self.inner.rnd_pages.load(Ordering::Relaxed),
-            idx_pages: self.inner.idx_pages.load(Ordering::Relaxed),
-            writes: self.inner.writes.load(Ordering::Relaxed),
-            buffer_hits: self.inner.buffer_hits.load(Ordering::Relaxed),
-            buffer_misses: self.inner.buffer_misses.load(Ordering::Relaxed),
-        }
+        Self::snapshot_of(&self.inner)
+    }
+
+    /// Per-thread view of the counters, ordered by thread id for stable
+    /// output. Summing the snapshots componentwise reproduces
+    /// [`DiskMetrics::snapshot`] (for accesses recorded since the last
+    /// [`DiskMetrics::reset`]).
+    pub fn per_thread_snapshot(&self) -> Vec<(ThreadId, MetricsSnapshot)> {
+        let mut out: Vec<(ThreadId, MetricsSnapshot)> = self
+            .per_thread
+            .lock()
+            .iter()
+            .map(|(id, c)| (*id, Self::snapshot_of(c)))
+            .collect();
+        out.sort_by_key(|(id, _)| format!("{id:?}"));
+        out
     }
 
     pub fn reset(&self) {
@@ -214,6 +265,7 @@ impl DiskMetrics {
         self.inner.writes.store(0, Ordering::Relaxed);
         self.inner.buffer_hits.store(0, Ordering::Relaxed);
         self.inner.buffer_misses.store(0, Ordering::Relaxed);
+        self.per_thread.lock().clear();
     }
 }
 
@@ -237,6 +289,29 @@ mod tests {
         assert_eq!(s.total_reads(), 4);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn per_thread_counts_sum_to_totals() {
+        let m = DiskMetrics::new();
+        m.record_read(AccessKind::Sequential);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let m = m.clone();
+                s.spawn(move || {
+                    m.record_read(AccessKind::Random);
+                    m.record_write();
+                });
+            }
+        });
+        let per = m.per_thread_snapshot();
+        assert_eq!(per.len(), 4, "main + 3 workers");
+        let total = m.snapshot();
+        assert_eq!(per.iter().map(|(_, s)| s.seq_pages).sum::<u64>(), total.seq_pages);
+        assert_eq!(per.iter().map(|(_, s)| s.rnd_pages).sum::<u64>(), total.rnd_pages);
+        assert_eq!(per.iter().map(|(_, s)| s.writes).sum::<u64>(), total.writes);
+        m.reset();
+        assert!(m.per_thread_snapshot().is_empty());
     }
 
     #[test]

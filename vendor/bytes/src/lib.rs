@@ -1,0 +1,251 @@
+//! Vendored stand-in for the `bytes` crate so the workspace builds
+//! offline. `Bytes` is a read cursor over an owned buffer; `BytesMut` is a
+//! growable write buffer. Only the little-endian accessors the MOOD codecs
+//! use are implemented.
+
+use std::fmt;
+
+/// Read side: a cursor over an owned byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split off the next `n` bytes as their own `Bytes`, advancing self.
+    /// Panics if fewer than `n` bytes remain (matching the real crate).
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let out = Bytes {
+            data: self.data[self.pos..self.pos + n].to_vec(),
+            pos: 0,
+        };
+        self.pos += n;
+        out
+    }
+
+    /// The remaining (unread) bytes as a vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underflow");
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_ref()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_ref())
+    }
+}
+
+/// Write side: a growable byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_ref())
+    }
+}
+
+macro_rules! get_impl {
+    ($($name:ident -> $ty:ty),* $(,)?) => {
+        $(fn $name(&mut self) -> $ty;)*
+    };
+}
+
+macro_rules! get_le {
+    ($($name:ident -> $ty:ty),* $(,)?) => {
+        $(fn $name(&mut self) -> $ty {
+            <$ty>::from_le_bytes(
+                self.take(std::mem::size_of::<$ty>()).try_into().expect("sized"),
+            )
+        })*
+    };
+}
+
+/// Read accessors (the subset of `bytes::Buf` used here).
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    get_impl!(
+        get_u8 -> u8,
+        get_u16_le -> u16,
+        get_u32_le -> u32,
+        get_u64_le -> u64,
+        get_i32_le -> i32,
+        get_i64_le -> i64,
+        get_f64_le -> f64,
+    );
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    get_le!(
+        get_u16_le -> u16,
+        get_u32_le -> u32,
+        get_u64_le -> u64,
+        get_i32_le -> i32,
+        get_i64_le -> i64,
+        get_f64_le -> f64,
+    );
+}
+
+macro_rules! put_le {
+    ($($name:ident($ty:ty)),* $(,)?) => {
+        $(fn $name(&mut self, v: $ty) {
+            self.put_slice(&v.to_le_bytes());
+        })*
+    };
+}
+
+/// Write accessors (the subset of `bytes::BufMut` used here).
+pub trait BufMut {
+    fn put_slice(&mut self, s: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    put_le!(
+        put_u16_le(u16),
+        put_u32_le(u32),
+        put_u64_le(u64),
+        put_i32_le(i32),
+        put_i64_le(i64),
+        put_f64_le(f64),
+    );
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, s: &[u8]) {
+        self.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u32_le(0xDEADBEEF);
+        w.put_i64_le(-42);
+        w.put_f64_le(2.5);
+        w.put_slice(b"abc");
+        let mut r = Bytes::copy_from_slice(&w.to_vec());
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEADBEEF);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_f64_le(), 2.5);
+        assert_eq!(r.split_to(3).to_vec(), b"abc");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn split_to_advances_cursor() {
+        let mut b = Bytes::copy_from_slice(&[1, 2, 3, 4]);
+        let head = b.split_to(2);
+        assert_eq!(head.to_vec(), vec![1, 2]);
+        assert_eq!(b.to_vec(), vec![3, 4]);
+        assert_eq!(b.remaining(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::copy_from_slice(&[1]);
+        let _ = b.get_u32_le();
+    }
+}

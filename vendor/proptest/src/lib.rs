@@ -1,0 +1,673 @@
+//! Vendored stand-in for the `proptest` crate so the workspace builds
+//! offline. It keeps proptest's *shape* — `proptest!` blocks, `Strategy`
+//! combinators, `prop_oneof!`, regex-string strategies — but replaces the
+//! engine with a deterministic SplitMix64 generator and no shrinking: a
+//! failing case panics with the normal assert message instead of being
+//! minimized. Each test's RNG is seeded from its full module path, so runs
+//! are reproducible and independent of test ordering.
+
+pub mod test_runner {
+    /// Drop-in for `proptest::test_runner::Config` (aka `ProptestConfig`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+        /// Accepted for drop-in compatibility; the shim runner does not
+        /// shrink, so this is never consulted.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config {
+                cases: 256,
+                max_shrink_iters: 1024,
+            }
+        }
+    }
+
+    /// Deterministic SplitMix64 stream.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_test(name: &str) -> TestRng {
+            // FNV-1a over the test's module path: stable across runs.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform usize in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// Uniform f64 in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use super::string::gen_from_pattern;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// The value-generation half of proptest's `Strategy`. No shrinking:
+    /// `generate` produces one value per call from the shared test RNG.
+    pub trait Strategy: Clone {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, O>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O + 'static,
+        {
+            Map {
+                inner: self,
+                f: Rc::new(f),
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Build a recursive strategy: each extra level is a coin flip
+        /// between the leaf strategy and one application of `branch`, so
+        /// nesting depth is bounded by `depth`. The `_desired_size` and
+        /// `_expected_branch_size` hints are accepted for signature
+        /// compatibility and ignored.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                cur = Union::new(vec![leaf.clone(), branch(cur).boxed()]).boxed();
+            }
+            cur
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S: Strategy, O> {
+        inner: S,
+        f: Rc<dyn Fn(S::Value) -> O>,
+    }
+
+    impl<S: Strategy, O> Clone for Map<S, O> {
+        fn clone(&self) -> Self {
+            Map {
+                inner: self.inner.clone(),
+                f: self.f.clone(),
+            }
+        }
+    }
+
+    impl<S: Strategy, O> Strategy for Map<S, O> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy handle.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Uniform choice among alternatives (`prop_oneof!` with no weights).
+    pub struct Union<T>(Vec<BoxedStrategy<T>>);
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union(options)
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.0.len());
+            self.0[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($ty:ty),* $(,)?) => {
+            $(impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = ((rng.next_u64() as u128) % span) as i128;
+                    (self.start as i128 + v) as $ty
+                }
+            })*
+        };
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    /// String literals act as (a supported subset of) regex strategies.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            gen_from_pattern(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {
+            $(impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            })*
+        };
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($ty:ty),* $(,)?) => {
+            $(impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            })*
+        };
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Mostly printable ASCII, sometimes an arbitrary scalar value,
+            // so multi-byte encodings get exercised too.
+            if rng.below(4) == 0 {
+                loop {
+                    if let Some(c) = char::from_u32((rng.next_u64() % 0x110000) as u32) {
+                        return c;
+                    }
+                }
+            }
+            (b' ' + rng.below(95) as u8) as char
+        }
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S: Strategy> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.clone().generate(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    #[derive(Clone)]
+    pub struct HashSetStrategy<S: Strategy> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let want = self.len.clone().generate(rng);
+            let mut out = HashSet::new();
+            // Bounded attempts: a small element domain may not admit `want`
+            // distinct values, in which case we return what we collected.
+            for _ in 0..want * 10 + 20 {
+                if out.len() >= want {
+                    break;
+                }
+                out.insert(self.elem.generate(rng));
+            }
+            out
+        }
+    }
+
+    pub fn hash_set<S: Strategy>(elem: S, len: Range<usize>) -> HashSetStrategy<S> {
+        HashSetStrategy { elem, len }
+    }
+}
+
+pub mod string {
+    //! Generator for the regex subset the workspace's patterns use:
+    //! literal characters, `[...]` classes with ranges, `\PC` (any
+    //! printable character), and the quantifiers `{m,n}`, `{n}`, `*`,
+    //! `+`, `?`.
+
+    use super::test_runner::TestRng;
+
+    enum Atom {
+        /// Inclusive character ranges, e.g. `[a-zA-Z0-9 ]`.
+        Class(Vec<(char, char)>),
+        /// `\PC`: printable — mostly ASCII, sometimes wider Unicode.
+        Printable,
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    while let Some(&k) = chars.peek() {
+                        if k == ']' {
+                            chars.next();
+                            break;
+                        }
+                        let lo = chars.next().expect("unterminated class");
+                        if chars.peek() == Some(&'-')
+                            && chars.clone().nth(1).map(|c| c != ']').unwrap_or(false)
+                        {
+                            chars.next();
+                            let hi = chars.next().expect("unterminated range");
+                            ranges.push((lo, hi));
+                        } else {
+                            ranges.push((lo, lo));
+                        }
+                    }
+                    Atom::Class(ranges)
+                }
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        let prop = chars.next();
+                        assert_eq!(prop, Some('C'), "only \\PC is supported");
+                        Atom::Printable
+                    }
+                    Some(lit) => Atom::Class(vec![(lit, lit)]),
+                    None => panic!("trailing backslash in pattern"),
+                },
+                lit => Atom::Class(vec![(lit, lit)]),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut body = String::new();
+                    for k in chars.by_ref() {
+                        if k == '}' {
+                            break;
+                        }
+                        body.push(k);
+                    }
+                    match body.split_once(',') {
+                        Some((m, n)) => (m.parse().unwrap(), n.parse().unwrap()),
+                        None => {
+                            let n = body.parse().unwrap();
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn gen_atom(atom: &Atom, rng: &mut TestRng) -> char {
+        match atom {
+            Atom::Printable => {
+                const WIDE: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '✓', '𝔘'];
+                if rng.below(8) == 0 {
+                    WIDE[rng.below(WIDE.len())]
+                } else {
+                    (b' ' + rng.below(95) as u8) as char
+                }
+            }
+            Atom::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.below(total as usize) as u32;
+                for &(lo, hi) in ranges {
+                    let n = hi as u32 - lo as u32 + 1;
+                    if pick < n {
+                        return char::from_u32(lo as u32 + pick).expect("class range");
+                    }
+                    pick -= n;
+                }
+                unreachable!()
+            }
+        }
+    }
+
+    pub fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let n = piece.min + rng.below(piece.max - piece.min + 1);
+            for _ in 0..n {
+                out.push(gen_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` for `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    (
+        ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+/// No shrinking in this shim, so prop-asserts are plain asserts.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform (unweighted) choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        for _ in 0..500 {
+            let v = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn pattern_subset_generates_matching_strings() {
+        let mut rng = TestRng::for_test("patterns");
+        for _ in 0..200 {
+            let s = "q[a-z0-9]{0,6}".generate(&mut rng);
+            assert!(s.starts_with('q'));
+            assert!(s.len() <= 7);
+            assert!(s[1..].chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+
+            let t = "[ -~]{0,60}".generate(&mut rng);
+            assert!(t.len() <= 60);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+
+            let p = "\\PC{2}".generate(&mut rng);
+            assert_eq!(p.chars().count(), 2);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(i32),
+            Node(Vec<Tree>),
+        }
+        let strat = (0i32..10).prop_map(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::for_test("recursive");
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let mut saw_node = false;
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 3);
+            saw_node |= matches!(t, Tree::Node(_));
+        }
+        assert!(saw_node, "recursion should produce branches sometimes");
+    }
+
+    #[test]
+    fn oneof_hits_every_branch() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = TestRng::for_test("oneof");
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_binds_multiple_args(
+            xs in crate::collection::vec(0usize..20, 0..15),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(xs.len() < 15);
+            prop_assert_eq!(usize::from(flag) > 1, false);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config(n in 1u32..100) {
+            prop_assert!((1..100).contains(&n));
+        }
+    }
+}
