@@ -130,6 +130,37 @@ impl Catalog {
         self.inner.read().store.root()
     }
 
+    /// Rebuild the in-memory schema maps from the persisted catalog pages.
+    ///
+    /// Called after a rolled-back DDL autocommit: the pages are back to
+    /// their pre-statement contents, but the maps may have partially moved.
+    /// The index registry is pruned of classes that no longer exist;
+    /// statistics and the naming map survive (both are advisory).
+    /// `next_type_id` stays monotonic so an id consumed by the failed DDL
+    /// is never reissued.
+    pub fn reload_schema(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        let defs = inner.store.load_all()?;
+        let mut classes = hierarchy::ClassMap::new();
+        let mut by_id = HashMap::new();
+        let mut extent_class = HashMap::new();
+        let mut next = inner.next_type_id;
+        for def in defs {
+            next = next.max(def.type_id + 1);
+            by_id.insert(def.type_id, def.name.clone());
+            if let Some(f) = def.extent {
+                extent_class.insert(f, def.name.clone());
+            }
+            classes.insert(def.name.clone(), def);
+        }
+        inner.indexes.retain(|(class, _), _| classes.contains_key(class));
+        inner.classes = classes;
+        inner.by_id = by_id;
+        inner.extent_class = extent_class;
+        inner.next_type_id = next;
+        Ok(())
+    }
+
     // ------------------------------------------------------------------
     // Schema definition and evolution
     // ------------------------------------------------------------------

@@ -106,10 +106,23 @@ impl Mood {
             .expect("in-memory bootstrap cannot fail")
     }
 
-    /// Open (or create) a database rooted at a directory.
+    /// Open (or create) a database rooted at a directory. The storage
+    /// manager replays the WAL before anything reads a page, so a database
+    /// that crashed mid-flight comes back with exactly its committed state.
     pub fn open(dir: impl AsRef<std::path::Path>) -> Result<Mood> {
+        let sm = Arc::new(StorageManager::on_disk(dir.as_ref(), 1024)?);
+        Self::open_with_storage(sm, dir)
+    }
+
+    /// Bootstrap a database over a caller-assembled durable storage
+    /// manager rooted at `dir` (see [`StorageManager::with_parts`]) — the
+    /// crash-simulation harness uses this to interpose fault-injecting
+    /// disk/log wrappers while the real bytes live underneath.
+    pub fn open_with_storage(
+        sm: Arc<StorageManager>,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<Mood> {
         let dir = dir.as_ref();
-        let sm = Arc::new(StorageManager::on_disk(dir, 1024)?);
         let root_file = dir.join("catalog.root");
         let root = match std::fs::read(&root_file) {
             Ok(bytes) if bytes.len() == 12 => Some(CatalogRoot {
@@ -119,15 +132,30 @@ impl Mood {
             }),
             _ => None,
         };
-        let db = Self::from_storage(sm, root)?;
+        // Bootstrap is itself a transaction: creating the catalog heaps
+        // either commits whole or leaves no trace for the next open.
+        let txn = sm.txn_begin();
+        let db = match Self::from_storage(sm.clone(), root) {
+            Ok(db) => {
+                sm.txn_commit(txn)?;
+                db
+            }
+            Err(e) => {
+                let _ = sm.txn_rollback(txn);
+                return Err(e);
+            }
+        };
         if root.is_none() {
             let r = db.catalog.root();
             let mut bytes = Vec::with_capacity(12);
             bytes.extend_from_slice(&r.types.0.to_le_bytes());
             bytes.extend_from_slice(&r.attrs.0.to_le_bytes());
             bytes.extend_from_slice(&r.funcs.0.to_le_bytes());
-            std::fs::write(&root_file, bytes).map_err(|e| MoodError::Io(e.to_string()))?;
+            write_durably(&root_file, &bytes).map_err(|e| MoodError::Io(e.to_string()))?;
         }
+        // Recovery replayed straight onto the disk image; flush + sync it
+        // and restart the log so each open starts from a clean checkpoint.
+        db.checkpoint()?;
         Ok(db)
     }
 
@@ -176,11 +204,9 @@ impl Mood {
     }
 
     /// Use a specific optimizer configuration (physical disk parameters,
-    /// CPU cost).
+    /// CPU cost). Applied in place so an open transaction survives.
     pub fn set_optimizer_config(&self, config: OptimizerConfig) {
-        let mut s = self.session.lock();
-        let fresh = Session::new(self.catalog.clone(), self.funcman.clone()).with_config(config);
-        *s = fresh;
+        self.session.lock().set_config(config);
     }
 
     /// Set the worker count for the chunk-parallel execution path (1 =
@@ -270,6 +296,21 @@ impl Mood {
     pub fn render_object(&self, oid: Oid, depth: usize) -> String {
         mood_view::render_object(&self.catalog, oid, depth)
     }
+}
+
+/// Write a small control file so it survives a crash: write, fsync the
+/// file, then fsync the containing directory (the entry itself).
+fn write_durably(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::File::open(dir)?.sync_all()?;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -48,6 +48,13 @@ pub enum Statement {
         assignments: Vec<(String, Expr)>,
         where_clause: Option<Expr>,
     },
+    /// `BEGIN [TRANSACTION]` — open an explicit transaction; statements
+    /// until COMMIT/ROLLBACK share one atomic unit.
+    Begin,
+    /// `COMMIT` — make the open transaction's effects durable.
+    Commit,
+    /// `ROLLBACK` — undo the open transaction's effects.
+    Rollback,
 }
 
 /// `CREATE CLASS` definition (Section 3.1's DDL).

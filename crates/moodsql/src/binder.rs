@@ -17,8 +17,41 @@ use std::collections::HashMap;
 use mood_catalog::Catalog;
 use mood_optimizer::{BoolExpr, Const, PredSpec, QuerySpec};
 
-use crate::ast::{CmpOp, Expr, FromItem, Lit, PathRef, SelectStmt};
+use crate::ast::{CmpOp, Expr, FromItem, Lit, PathRef, SelectStmt, Statement};
 use crate::error::{Result, SqlError};
+
+/// How a statement interacts with the transaction machinery — the
+/// binder-level classification the session dispatches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `BEGIN` / `COMMIT` / `ROLLBACK` themselves.
+    Txn,
+    /// Schema-changing statements. These autocommit and are refused inside
+    /// an explicit transaction: rolling back pages alone would leave the
+    /// in-memory catalog disagreeing with them.
+    Ddl,
+    /// Object-mutating statements (`new`, `UPDATE`, `DELETE`) — the ones a
+    /// transaction's atomicity is about.
+    Dml,
+    /// Pure reads (`SELECT`, `EXPLAIN`): no transaction machinery needed.
+    Query,
+}
+
+/// Classify a parsed statement for transaction dispatch.
+pub fn classify(stmt: &Statement) -> StmtKind {
+    match stmt {
+        Statement::Begin | Statement::Commit | Statement::Rollback => StmtKind::Txn,
+        Statement::CreateClass(_)
+        | Statement::DropClass(_)
+        | Statement::CreateIndex { .. }
+        | Statement::DefineMethod { .. }
+        | Statement::DropMethod { .. } => StmtKind::Ddl,
+        Statement::NewObject { .. } | Statement::Delete { .. } | Statement::Update { .. } => {
+            StmtKind::Dml
+        }
+        Statement::Select(_) | Statement::Explain(_) => StmtKind::Query,
+    }
+}
 
 /// The lowering result.
 #[derive(Debug)]

@@ -18,7 +18,7 @@ pub mod token;
 pub use ast::{
     CmpOp, CreateClass, Expr, FromItem, Lit, MethodDecl, PathRef, SelectStmt, Statement,
 };
-pub use binder::{lower, Lowered};
+pub use binder::{classify, lower, Lowered, StmtKind};
 pub use cursor::Cursor;
 pub use error::{Result, SqlError};
 pub use exec::{BoundObj, Executor, QueryResult, Row};
@@ -51,6 +51,9 @@ pub struct Session {
     funcman: Arc<FunctionManager>,
     config: OptimizerConfig,
     last_trace: Vec<String>,
+    /// The open explicit transaction (`BEGIN` … `COMMIT`/`ROLLBACK`), if
+    /// any. Bare DML statements outside one autocommit.
+    txn: Option<mood_storage::TxnId>,
 }
 
 impl Session {
@@ -60,12 +63,19 @@ impl Session {
             funcman,
             config: OptimizerConfig::default(),
             last_trace: Vec::new(),
+            txn: None,
         }
     }
 
     pub fn with_config(mut self, config: OptimizerConfig) -> Session {
         self.config = config;
         self
+    }
+
+    /// Replace the optimizer configuration in place — unlike rebuilding the
+    /// session, this keeps an open transaction (and the last trace) intact.
+    pub fn set_config(&mut self, config: OptimizerConfig) {
+        self.config = config;
     }
 
     /// Set the worker count used by the chunk-parallel execution path.
@@ -105,8 +115,119 @@ impl Session {
         }
     }
 
+    /// Is an explicit transaction currently open on this session?
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Execute one statement under the transaction protocol:
+    ///
+    /// * `BEGIN`/`COMMIT`/`ROLLBACK` drive the storage manager's single
+    ///   writer slot directly;
+    /// * inside an explicit transaction, each DML statement runs under a
+    ///   statement-level savepoint — a mid-statement error undoes just that
+    ///   statement, the transaction survives;
+    /// * outside one, DML and DDL autocommit (the statement is its own
+    ///   transaction), and a failed DDL additionally reloads the catalog's
+    ///   in-memory schema from the rolled-back pages;
+    /// * DDL inside an explicit transaction is refused — it autocommits by
+    ///   design, and page rollback alone cannot unwind the catalog's
+    ///   in-memory maps mid-transaction;
+    /// * pure reads bypass the machinery entirely.
     pub fn execute_statement(&mut self, stmt: &Statement) -> Result<Answer> {
         match stmt {
+            Statement::Begin => {
+                if self.txn.is_some() {
+                    return Err(SqlError::Exec("transaction already in progress".into()));
+                }
+                self.txn = Some(self.catalog.storage().txn_begin());
+                Ok(Answer::Done { affected: 0 })
+            }
+            Statement::Commit => {
+                let txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| SqlError::Exec("no transaction in progress".into()))?;
+                self.catalog
+                    .storage()
+                    .txn_commit(txn)
+                    .map_err(|e| SqlError::Exec(format!("commit failed (rolled back): {e}")))?;
+                Ok(Answer::Done { affected: 0 })
+            }
+            Statement::Rollback => {
+                let txn = self
+                    .txn
+                    .take()
+                    .ok_or_else(|| SqlError::Exec("no transaction in progress".into()))?;
+                self.catalog
+                    .storage()
+                    .txn_rollback(txn)
+                    .map_err(|e| SqlError::Exec(format!("rollback failed: {e}")))?;
+                Ok(Answer::Done { affected: 0 })
+            }
+            _ => match binder::classify(stmt) {
+                StmtKind::Query => self.run_statement(stmt),
+                kind => {
+                    let sm = self.catalog.storage().clone();
+                    if self.txn.is_some() {
+                        if kind == StmtKind::Ddl {
+                            return Err(SqlError::Exec(
+                                "DDL statements autocommit and are not allowed inside an \
+                                 explicit transaction"
+                                    .into(),
+                            ));
+                        }
+                        sm.stmt_begin();
+                        match self.run_statement(stmt) {
+                            Ok(a) => {
+                                sm.stmt_end();
+                                Ok(a)
+                            }
+                            Err(e) => {
+                                let _ = sm.stmt_rollback();
+                                Err(e)
+                            }
+                        }
+                    } else {
+                        let txn = sm.txn_begin();
+                        match self.run_statement(stmt) {
+                            Ok(a) => match sm.txn_commit(txn) {
+                                Ok(()) => Ok(a),
+                                Err(e) => {
+                                    self.resync_catalog(kind);
+                                    Err(SqlError::Exec(format!(
+                                        "commit failed (statement rolled back): {e}"
+                                    )))
+                                }
+                            },
+                            Err(e) => {
+                                let _ = sm.txn_rollback(txn);
+                                self.resync_catalog(kind);
+                                Err(e)
+                            }
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    /// After a rolled-back DDL autocommit, the pages are back to their old
+    /// contents but the catalog's in-memory maps may have moved: rebuild
+    /// them from storage.
+    fn resync_catalog(&self, kind: StmtKind) {
+        if kind == StmtKind::Ddl {
+            let _ = self.catalog.reload_schema();
+        }
+    }
+
+    /// Execute the statement body (no transaction bookkeeping — see
+    /// [`Session::execute_statement`]).
+    fn run_statement(&mut self, stmt: &Statement) -> Result<Answer> {
+        match stmt {
+            Statement::Begin | Statement::Commit | Statement::Rollback => Err(SqlError::Exec(
+                "transaction statements cannot be nested".into(),
+            )),
             Statement::Select(s) => {
                 let ex =
                     Executor::new(&self.catalog, &self.funcman).with_config(self.config.clone());
@@ -800,6 +921,140 @@ mod update_tests {
     fn update_unknown_attribute_rejected() {
         let mut s = s();
         assert!(s.execute("UPDATE Account a SET bogus = 1").is_err());
+    }
+
+    #[test]
+    fn begin_commit_keeps_effects() {
+        let mut s = s();
+        s.execute("BEGIN TRANSACTION").unwrap();
+        assert!(s.in_transaction());
+        s.execute("new Account <100, 5000, 'txn'>").unwrap();
+        s.execute("UPDATE Account a SET balance = 1 WHERE a.id = 0")
+            .unwrap();
+        s.execute("COMMIT").unwrap();
+        assert!(!s.in_transaction());
+        let Answer::Rows(r) = s
+            .execute("SELECT a.balance FROM Account a WHERE a.id = 100")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.rows, vec![vec![Value::Integer(5000)]]);
+    }
+
+    #[test]
+    fn rollback_undoes_a_multi_statement_transaction() {
+        let mut s = s();
+        s.execute("BEGIN").unwrap();
+        s.execute("new Account <100, 5000, 'doomed'>").unwrap();
+        s.execute("UPDATE Account a SET balance = 0").unwrap();
+        s.execute("DELETE FROM Account a WHERE a.id < 5").unwrap();
+        s.execute("ROLLBACK").unwrap();
+        // All three statements' effects are gone.
+        let Answer::Rows(r) = s.execute("SELECT a FROM Account a").unwrap() else {
+            panic!()
+        };
+        assert_eq!(r.len(), 10, "insert + delete undone");
+        let Answer::Rows(r) = s
+            .execute("SELECT a.balance FROM Account a WHERE a.id = 7")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.rows, vec![vec![Value::Integer(700)]], "update undone");
+    }
+
+    #[test]
+    fn reads_inside_a_transaction_see_its_writes() {
+        let mut s = s();
+        s.execute("BEGIN").unwrap();
+        s.execute("UPDATE Account a SET balance = 42 WHERE a.id = 3")
+            .unwrap();
+        let Answer::Rows(r) = s
+            .execute("SELECT a.balance FROM Account a WHERE a.id = 3")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.rows, vec![vec![Value::Integer(42)]]);
+        s.execute("ROLLBACK").unwrap();
+        let Answer::Rows(r) = s
+            .execute("SELECT a.balance FROM Account a WHERE a.id = 3")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.rows, vec![vec![Value::Integer(300)]]);
+    }
+
+    #[test]
+    fn transaction_statement_misuse_is_rejected() {
+        let mut s = s();
+        assert!(s.execute("COMMIT").is_err(), "no transaction open");
+        assert!(s.execute("ROLLBACK").is_err());
+        s.execute("BEGIN").unwrap();
+        assert!(s.execute("BEGIN").is_err(), "no nested transactions");
+        // DDL autocommits; inside an explicit transaction it is refused.
+        assert!(s
+            .execute("CREATE CLASS Temp TUPLE (x Integer)")
+            .is_err());
+        assert!(s.execute("CREATE INDEX ON Account(balance)").is_err());
+        s.execute("COMMIT").unwrap();
+        // Outside the transaction the same DDL is fine.
+        s.execute("CREATE CLASS Temp TUPLE (x Integer)").unwrap();
+    }
+
+    #[test]
+    fn failed_statement_rolls_back_alone_inside_transaction() {
+        let mut s = s();
+        s.execute("BEGIN").unwrap();
+        s.execute("UPDATE Account a SET note = 'kept' WHERE a.id = 0")
+            .unwrap();
+        // Division by zero fires on the row with balance 200 — after the
+        // rows with balances 0 and 100 were already updated. The statement
+        // savepoint must undo those partial effects.
+        assert!(s
+            .execute("UPDATE Account a SET balance = 1000 / (a.balance - 200)")
+            .is_err());
+        let Answer::Rows(r) = s
+            .execute("SELECT a.balance FROM Account a WHERE a.id = 0 OR a.id = 1 ORDER BY a.id")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::Integer(0)], vec![Value::Integer(100)]],
+            "partial statement effects undone"
+        );
+        // The transaction itself survives and can still commit statement 1.
+        s.execute("COMMIT").unwrap();
+        let Answer::Rows(r) = s
+            .execute("SELECT a.note FROM Account a WHERE a.id = 0")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(r.rows, vec![vec![Value::string("kept")]]);
+    }
+
+    #[test]
+    fn failed_autocommit_statement_leaves_no_trace() {
+        let mut s = s();
+        assert!(s
+            .execute("UPDATE Account a SET balance = 1000 / (a.balance - 200)")
+            .is_err());
+        let Answer::Rows(r) = s
+            .execute("SELECT a.balance FROM Account a WHERE a.id = 0 OR a.id = 1 ORDER BY a.id")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::Integer(0)], vec![Value::Integer(100)]],
+            "autocommit rollback undid the partial update"
+        );
     }
 
     #[test]

@@ -116,6 +116,21 @@ impl Parser {
             Some(Tok::Kw(Kw::Define)) => self.define_method(),
             Some(Tok::Kw(Kw::Delete)) => self.delete(),
             Some(Tok::Kw(Kw::Update)) => self.update(),
+            Some(Tok::Kw(Kw::Begin)) => {
+                self.pos += 1;
+                self.eat_kw(Kw::Transaction); // optional noise word
+                Ok(Statement::Begin)
+            }
+            Some(Tok::Kw(Kw::Commit)) => {
+                self.pos += 1;
+                self.eat_kw(Kw::Transaction);
+                Ok(Statement::Commit)
+            }
+            Some(Tok::Kw(Kw::Rollback)) => {
+                self.pos += 1;
+                self.eat_kw(Kw::Transaction);
+                Ok(Statement::Rollback)
+            }
             other => Err(self.err(format!("expected a statement, found {other:?}"))),
         }
     }

@@ -56,6 +56,10 @@ pub enum Kw {
     Delete,
     Update,
     Explain,
+    Begin,
+    Transaction,
+    Commit,
+    Rollback,
 }
 
 impl Kw {
@@ -101,6 +105,10 @@ impl Kw {
             "DELETE" => Kw::Delete,
             "UPDATE" => Kw::Update,
             "EXPLAIN" => Kw::Explain,
+            "BEGIN" => Kw::Begin,
+            "TRANSACTION" => Kw::Transaction,
+            "COMMIT" => Kw::Commit,
+            "ROLLBACK" => Kw::Rollback,
             _ => return None,
         })
     }

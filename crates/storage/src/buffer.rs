@@ -34,10 +34,40 @@ struct Frame {
     checked_out: bool,
 }
 
+/// A page's state captured at its first write inside a transaction (or
+/// statement): the bytes to restore on rollback and whether the frame was
+/// already dirty, so rollback can put the dirty flag back too.
+struct UndoEntry {
+    before: Page,
+    was_dirty: bool,
+}
+
+struct StmtEntry {
+    before: Page,
+    was_dirty: bool,
+    /// First dirtied by *this* statement (not an earlier one in the same
+    /// transaction) — statement rollback must also forget the
+    /// transaction-level undo entry, returning the page to pre-txn state.
+    fresh_in_txn: bool,
+}
+
+/// Undo bookkeeping for the (single) open transaction. The pool is the one
+/// place that sees every page write, so it captures before-images here:
+/// the redo-only WAL can replay committed work after a crash but cannot
+/// undo a live transaction — that takes these images.
+struct TxnTracker {
+    undo: HashMap<(FileId, PageId), UndoEntry>,
+    /// Statement-level savepoint: captured per page while a statement runs
+    /// inside an explicit transaction, so a failing statement rolls back
+    /// alone without taking the whole transaction with it.
+    stmt: Option<HashMap<(FileId, PageId), StmtEntry>>,
+}
+
 struct PoolState {
     frames: Vec<Frame>,
     map: HashMap<(FileId, PageId), usize>,
     hand: usize,
+    txn: Option<TxnTracker>,
 }
 
 /// A shared buffer pool over a [`Disk`].
@@ -45,8 +75,15 @@ pub struct BufferPool {
     disk: Arc<dyn Disk>,
     state: Mutex<PoolState>,
     returned: Condvar,
+    /// Signalled when the open transaction ends (single-writer gate).
+    txn_free: Condvar,
     metrics: DiskMetrics,
     capacity: usize,
+    /// No-steal discipline: pages dirtied by the open transaction are
+    /// pinned in the pool (never evicted or flushed) until it commits.
+    /// Durable (file-backed) managers set this; in-memory ones don't need
+    /// it — their rollback path rewrites before-images through the disk.
+    no_steal: bool,
 }
 
 thread_local! {
@@ -76,11 +113,24 @@ impl BufferPool {
                 frames,
                 map: HashMap::new(),
                 hand: 0,
+                txn: None,
             }),
             returned: Condvar::new(),
+            txn_free: Condvar::new(),
             metrics,
             capacity,
+            no_steal: false,
         }
+    }
+
+    /// Like [`BufferPool::new`], but with the no-steal discipline: pages
+    /// dirtied by the open transaction stay resident until it ends, which
+    /// is what lets a redo-only log skip undo records. Durable managers
+    /// use this; see the `no_steal` field.
+    pub fn new_no_steal(disk: Arc<dyn Disk>, capacity: usize, metrics: DiskMetrics) -> Self {
+        let mut pool = Self::new(disk, capacity, metrics);
+        pool.no_steal = true;
+        pool
     }
 
     pub fn metrics(&self) -> &DiskMetrics {
@@ -146,13 +196,20 @@ impl BufferPool {
                     let i = match self.evict_one(&mut st) {
                         Ok(i) => i,
                         Err(StorageError::PoolExhausted) => {
-                            // Every frame is pinned by an in-flight callback.
-                            // Wait for one to be returned, then retry the
-                            // lookup (another thread may even load this page
-                            // for us in the meantime, turning this into a
-                            // hit).
-                            self.returned.wait(&mut st);
-                            continue;
+                            if st.frames.iter().any(|fr| fr.checked_out) {
+                                // Every frame is pinned by an in-flight
+                                // callback. Wait for one to be returned,
+                                // then retry the lookup (another thread may
+                                // even load this page for us in the
+                                // meantime, turning this into a hit).
+                                self.returned.wait(&mut st);
+                                continue;
+                            }
+                            // Nothing will be returned: the pool is full of
+                            // pages pinned by the open transaction (no-steal).
+                            // Surface the error so the statement aborts and
+                            // rollback frees them.
+                            return Err(StorageError::PoolExhausted);
                         }
                         Err(e) => return Err(e),
                     };
@@ -169,6 +226,30 @@ impl BufferPool {
         st.frames[idx].referenced = true;
         st.frames[idx].pins += 1;
         if write {
+            // First write inside a transaction (or statement): capture the
+            // page's before-image so a live rollback can restore it — the
+            // redo-only WAL cannot.
+            let PoolState { frames, txn, .. } = &mut *st;
+            if let Some(tr) = txn.as_mut() {
+                let key = (file, page);
+                let fresh = !tr.undo.contains_key(&key);
+                if fresh {
+                    tr.undo.insert(
+                        key,
+                        UndoEntry {
+                            before: frames[idx].page.clone(),
+                            was_dirty: frames[idx].dirty,
+                        },
+                    );
+                }
+                if let Some(stmt) = tr.stmt.as_mut() {
+                    stmt.entry(key).or_insert_with(|| StmtEntry {
+                        before: frames[idx].page.clone(),
+                        was_dirty: frames[idx].dirty,
+                        fresh_in_txn: fresh,
+                    });
+                }
+            }
             st.frames[idx].dirty = true;
         }
         st.frames[idx].checked_out = true;
@@ -204,8 +285,16 @@ impl BufferPool {
         for _ in 0..(2 * st.frames.len() + 1) {
             let i = st.hand;
             st.hand = (st.hand + 1) % st.frames.len();
+            // No-steal: pages dirtied by the open transaction are pinned —
+            // flushing them would put uncommitted bytes on disk that a
+            // redo-only log could never undo after a crash.
+            let txn_pinned = self.no_steal
+                && match (&st.txn, st.frames[i].key) {
+                    (Some(tr), Some(key)) => tr.undo.contains_key(&key),
+                    _ => false,
+                };
             let frame = &mut st.frames[i];
-            if frame.pins > 0 {
+            if frame.pins > 0 || txn_pinned {
                 continue;
             }
             if frame.referenced {
@@ -225,11 +314,21 @@ impl BufferPool {
         Err(StorageError::PoolExhausted)
     }
 
-    /// Write all dirty frames back to disk (without dropping them).
+    /// Write all dirty frames back to disk (without dropping them). Under
+    /// no-steal, pages dirtied by the open transaction are skipped — they
+    /// reach disk only after their commit record is durable.
     pub fn flush_all(&self) -> Result<()> {
         let mut st = self.state.lock();
-        for frame in st.frames.iter_mut() {
+        let PoolState { frames, txn, .. } = &mut *st;
+        for frame in frames.iter_mut() {
             if let (Some(key), true) = (frame.key, frame.dirty) {
+                if self.no_steal {
+                    if let Some(tr) = txn.as_ref() {
+                        if tr.undo.contains_key(&key) {
+                            continue;
+                        }
+                    }
+                }
                 self.metrics.record_write();
                 self.disk.write_page(key.0, key.1, &frame.page)?;
                 frame.dirty = false;
@@ -256,11 +355,196 @@ impl BufferPool {
                 st.frames[i].referenced = false;
             }
         }
+        // File drops are not transactional (DDL autocommits): stop tracking
+        // its pages so commit/rollback don't resurrect a dropped file.
+        if let Some(tr) = st.txn.as_mut() {
+            tr.undo.retain(|(f, _), _| *f != file);
+            if let Some(stmt) = tr.stmt.as_mut() {
+                stmt.retain(|(f, _), _| *f != file);
+            }
+        }
     }
 
     /// Number of frames currently caching pages (for tests).
     pub fn resident(&self) -> usize {
         self.state.lock().map.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Transaction bookkeeping. The pool tracks a single open transaction
+    // (MOOD's sessions serialize writers); `txn_begin` blocks until the
+    // current one ends, giving single-writer semantics across sessions.
+    // ------------------------------------------------------------------
+
+    /// Open the transaction slot, blocking while another transaction holds
+    /// it. From here until [`txn_end`](Self::txn_end) /
+    /// [`txn_rollback`](Self::txn_rollback), every page write captures a
+    /// before-image, and under no-steal the dirtied pages are pinned.
+    pub fn txn_begin(&self) {
+        let mut st = self.state.lock();
+        while st.txn.is_some() {
+            self.txn_free.wait(&mut st);
+        }
+        st.txn = Some(TxnTracker {
+            undo: HashMap::new(),
+            stmt: None,
+        });
+    }
+
+    /// Is a transaction currently open?
+    pub fn txn_active(&self) -> bool {
+        self.state.lock().txn.is_some()
+    }
+
+    /// Current images of every page the open transaction dirtied, in
+    /// deterministic (file, page) order — what the committer logs as
+    /// after-images. Pages of files dropped mid-transaction are skipped.
+    pub fn txn_dirty_pages(&self) -> Result<Vec<(FileId, PageId, Page)>> {
+        let st = self.state.lock();
+        let tr = match st.txn.as_ref() {
+            Some(t) => t,
+            None => return Ok(Vec::new()),
+        };
+        let mut keys: Vec<_> = tr.undo.keys().copied().collect();
+        keys.sort();
+        let mut out = Vec::with_capacity(keys.len());
+        for key in keys {
+            if let Some(&i) = st.map.get(&key) {
+                out.push((key.0, key.1, st.frames[i].page.clone()));
+            } else {
+                // Evicted (steal mode only). The disk holds the latest
+                // image; read it back for the log.
+                let mut p = Page::new();
+                match self.disk.read_page(key.0, key.1, &mut p) {
+                    Ok(()) => out.push((key.0, key.1, p)),
+                    Err(StorageError::UnknownFile(_))
+                    | Err(StorageError::PageOutOfRange { .. }) => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Close the transaction slot after a successful commit: drop the undo
+    /// images and unpin the pages (they flush through normal eviction or
+    /// checkpoints from here on).
+    pub fn txn_end(&self) {
+        self.state.lock().txn = None;
+        self.txn_free.notify_all();
+        self.returned.notify_all();
+    }
+
+    /// Roll the open transaction back: restore every captured before-image
+    /// and close the slot. Returns whether the transaction had dirtied any
+    /// pages. Restoration keeps going past per-page errors (dropped files)
+    /// and reports the first real one.
+    pub fn txn_rollback(&self) -> Result<bool> {
+        let tracker = self.state.lock().txn.take();
+        let tr = match tracker {
+            Some(t) => t,
+            None => return Ok(false),
+        };
+        let had_writes = !tr.undo.is_empty();
+        let mut entries: Vec<_> = tr.undo.into_iter().collect();
+        entries.sort_by_key(|(k, _)| *k);
+        let mut first_err = None;
+        for (key, e) in entries {
+            if let Err(err) = self.restore_page(key, e.before, e.was_dirty) {
+                first_err.get_or_insert(err);
+            }
+        }
+        self.txn_free.notify_all();
+        self.returned.notify_all();
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(had_writes),
+        }
+    }
+
+    /// Open a statement-level savepoint inside the current transaction.
+    /// No-op without an open transaction (autocommit wraps the statement
+    /// in its own transaction instead).
+    pub fn stmt_begin(&self) {
+        if let Some(tr) = self.state.lock().txn.as_mut() {
+            tr.stmt = Some(HashMap::new());
+        }
+    }
+
+    /// Release the statement savepoint (the statement succeeded).
+    pub fn stmt_end(&self) {
+        if let Some(tr) = self.state.lock().txn.as_mut() {
+            tr.stmt = None;
+        }
+    }
+
+    /// Roll back just the current statement's writes, leaving earlier
+    /// statements of the transaction intact.
+    pub fn stmt_rollback(&self) -> Result<()> {
+        let entries: Vec<((FileId, PageId), StmtEntry)> = {
+            let mut st = self.state.lock();
+            let tr = match st.txn.as_mut() {
+                Some(t) => t,
+                None => return Ok(()),
+            };
+            let stmt = match tr.stmt.take() {
+                Some(m) => m,
+                None => return Ok(()),
+            };
+            // Pages first touched by this statement return to their
+            // pre-transaction state: forget their txn-level undo too.
+            for (key, e) in &stmt {
+                if e.fresh_in_txn {
+                    tr.undo.remove(key);
+                }
+            }
+            let mut v: Vec<_> = stmt.into_iter().collect();
+            v.sort_by_key(|(k, _)| *k);
+            v
+        };
+        let mut first_err = None;
+        for (key, e) in entries {
+            if let Err(err) = self.restore_page(key, e.before, e.was_dirty) {
+                first_err.get_or_insert(err);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Put a before-image back: into the frame if the page is resident
+    /// (waiting out any in-flight callback on it), else straight to disk
+    /// (steal mode can have flushed-and-evicted the uncommitted version).
+    /// Vanished files/pages (dropped mid-transaction) are ignored.
+    fn restore_page(&self, key: (FileId, PageId), before: Page, was_dirty: bool) -> Result<()> {
+        let mut st = self.state.lock();
+        loop {
+            match st.map.get(&key).copied() {
+                Some(i) if st.frames[i].checked_out => {
+                    self.returned.wait(&mut st);
+                }
+                Some(i) => {
+                    st.frames[i].page = before;
+                    // Under no-steal the disk still holds the pre-txn bytes,
+                    // so a clean capture restores clean. In steal mode the
+                    // uncommitted version may have been flushed — force a
+                    // write-back.
+                    st.frames[i].dirty = was_dirty || !self.no_steal;
+                    return Ok(());
+                }
+                None => {
+                    self.metrics.record_write();
+                    return match self.disk.write_page(key.0, key.1, &before) {
+                        Ok(()) => Ok(()),
+                        Err(StorageError::UnknownFile(_))
+                        | Err(StorageError::PageOutOfRange { .. }) => Ok(()),
+                        Err(e) => Err(e),
+                    };
+                }
+            }
+        }
     }
 }
 
@@ -360,6 +644,123 @@ mod tests {
             .with_page(f, pid, AccessKind::Random, |p| p.data[0])
             .unwrap();
         assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn txn_rollback_restores_before_images() {
+        let (pool, f) = pool(4);
+        let (pid, _) = pool.new_page(f, |p| p.data[0] = 1).unwrap();
+        pool.txn_begin();
+        pool.with_page_mut(f, pid, AccessKind::Random, |p| p.data[0] = 99)
+            .unwrap();
+        assert!(pool.txn_rollback().unwrap());
+        let v = pool
+            .with_page(f, pid, AccessKind::Random, |p| p.data[0])
+            .unwrap();
+        assert_eq!(v, 1, "rollback must restore the before-image");
+    }
+
+    #[test]
+    fn txn_rollback_reaches_evicted_pages_in_steal_mode() {
+        // 1-frame steal-mode pool: the txn's first write is flushed and
+        // evicted by the second; rollback must still undo it via the disk.
+        let disk = Arc::new(MemDisk::new());
+        let pool = BufferPool::new(disk.clone(), 1, DiskMetrics::new());
+        let f = disk.create_file().unwrap();
+        let (p0, _) = pool.new_page(f, |p| p.data[0] = 10).unwrap();
+        let (p1, _) = pool.new_page(f, |p| p.data[0] = 20).unwrap();
+        pool.txn_begin();
+        pool.with_page_mut(f, p0, AccessKind::Random, |p| p.data[0] = 11)
+            .unwrap();
+        pool.with_page_mut(f, p1, AccessKind::Random, |p| p.data[0] = 21)
+            .unwrap(); // evicts p0 with its uncommitted byte
+        assert!(pool.txn_rollback().unwrap());
+        let v0 = pool
+            .with_page(f, p0, AccessKind::Random, |p| p.data[0])
+            .unwrap();
+        let v1 = pool
+            .with_page(f, p1, AccessKind::Random, |p| p.data[0])
+            .unwrap();
+        assert_eq!((v0, v1), (10, 20));
+    }
+
+    #[test]
+    fn stmt_rollback_undoes_only_the_statement() {
+        let (pool, f) = pool(4);
+        let (pid, _) = pool.new_page(f, |p| p.data[0] = 1).unwrap();
+        pool.txn_begin();
+        pool.with_page_mut(f, pid, AccessKind::Random, |p| p.data[0] = 2)
+            .unwrap(); // statement 1 (kept)
+        pool.stmt_begin();
+        pool.with_page_mut(f, pid, AccessKind::Random, |p| p.data[0] = 3)
+            .unwrap(); // statement 2 (rolled back)
+        pool.stmt_rollback().unwrap();
+        let v = pool
+            .with_page(f, pid, AccessKind::Random, |p| p.data[0])
+            .unwrap();
+        assert_eq!(v, 2, "stmt rollback keeps earlier statements' writes");
+        // The whole txn can still roll back to the pre-txn image.
+        assert!(pool.txn_rollback().unwrap());
+        let v = pool
+            .with_page(f, pid, AccessKind::Random, |p| p.data[0])
+            .unwrap();
+        assert_eq!(v, 1);
+    }
+
+    #[test]
+    fn stmt_rollback_forgets_fresh_pages_at_txn_level() {
+        let (pool, f) = pool(4);
+        let (pid, _) = pool.new_page(f, |p| p.data[0] = 7).unwrap();
+        pool.txn_begin();
+        pool.stmt_begin();
+        pool.with_page_mut(f, pid, AccessKind::Random, |p| p.data[0] = 8)
+            .unwrap();
+        pool.stmt_rollback().unwrap();
+        // The statement was the only writer: the txn has nothing to undo.
+        assert!(!pool.txn_rollback().unwrap());
+        let v = pool
+            .with_page(f, pid, AccessKind::Random, |p| p.data[0])
+            .unwrap();
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn no_steal_pins_uncommitted_dirty_pages() {
+        let disk = Arc::new(MemDisk::new());
+        let pool = BufferPool::new_no_steal(disk.clone(), 4, DiskMetrics::new());
+        let f = disk.create_file().unwrap();
+        let (pid, _) = pool.new_page(f, |p| p.data[0] = 5).unwrap();
+        pool.flush_all().unwrap();
+        pool.txn_begin();
+        pool.with_page_mut(f, pid, AccessKind::Random, |p| p.data[0] = 6)
+            .unwrap();
+        pool.flush_all().unwrap();
+        let mut raw = Page::new();
+        disk.read_page(f, pid, &mut raw).unwrap();
+        assert_eq!(raw.data[0], 5, "uncommitted bytes must not reach disk");
+        pool.txn_end();
+        pool.flush_all().unwrap();
+        disk.read_page(f, pid, &mut raw).unwrap();
+        assert_eq!(raw.data[0], 6, "after commit the page flushes normally");
+    }
+
+    #[test]
+    fn no_steal_exhaustion_errors_instead_of_hanging() {
+        // A 1-frame no-steal pool with a txn-pinned dirty page cannot load
+        // a second page; the access must error, not deadlock.
+        let disk = Arc::new(MemDisk::new());
+        let pool = BufferPool::new_no_steal(disk.clone(), 1, DiskMetrics::new());
+        let f = disk.create_file().unwrap();
+        let (p0, _) = pool.new_page(f, |_| {}).unwrap();
+        let p1 = disk.allocate_page(f).unwrap();
+        pool.txn_begin();
+        pool.with_page_mut(f, p0, AccessKind::Random, |p| p.data[0] = 1)
+            .unwrap();
+        let err = pool.with_page(f, p1, AccessKind::Random, |_| {});
+        assert!(matches!(err, Err(StorageError::PoolExhausted)));
+        // Rollback frees the pinned frame; the pool works again.
+        pool.txn_rollback().unwrap();
+        pool.with_page(f, p1, AccessKind::Random, |_| {}).unwrap();
     }
 
     #[test]

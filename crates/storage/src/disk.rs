@@ -253,32 +253,41 @@ impl Disk for FileDisk {
 /// failure-injection tests to exercise kernel error paths.
 pub struct FaultyDisk<D: Disk> {
     inner: D,
-    /// Operations remaining before every subsequent I/O fails.
-    fuse: AtomicU64,
+    plan: std::sync::Arc<crate::fault::FaultPlan>,
 }
 
 impl<D: Disk> FaultyDisk<D> {
+    /// The legacy fuse: `ops_before_failure` operations succeed, then
+    /// every subsequent I/O fails (equivalent to
+    /// [`FaultPlan::fail_after`](crate::fault::FaultPlan::fail_after)).
     pub fn new(inner: D, ops_before_failure: u64) -> Self {
-        FaultyDisk {
-            inner,
-            fuse: AtomicU64::new(ops_before_failure),
-        }
+        Self::with_plan(inner, crate::fault::FaultPlan::fail_after(ops_before_failure))
     }
 
-    /// Re-arm the fuse (e.g. to let recovery succeed after a failure test).
+    /// Wrap `inner` with a scripted/seeded [`FaultPlan`]
+    /// (fail-at-op-k, torn writes, seeded probability — see the `fault`
+    /// module).
+    ///
+    /// [`FaultPlan`]: crate::fault::FaultPlan
+    pub fn with_plan(inner: D, plan: std::sync::Arc<crate::fault::FaultPlan>) -> Self {
+        FaultyDisk { inner, plan }
+    }
+
+    /// Disarm the plan (e.g. to let recovery succeed after a failure test).
     pub fn heal(&self) {
-        self.fuse.store(u64::MAX, Ordering::Relaxed);
+        self.plan.heal();
+    }
+
+    /// The shared plan (so a harness can inspect `ops()`/`fired_at()`).
+    pub fn plan(&self) -> &std::sync::Arc<crate::fault::FaultPlan> {
+        &self.plan
     }
 
     fn tick(&self) -> Result<()> {
-        let left = self.fuse.load(Ordering::Relaxed);
-        if left == 0 {
-            return Err(StorageError::Io("injected fault".into()));
+        match self.plan.next() {
+            crate::fault::Fault::None => Ok(()),
+            _ => Err(StorageError::Io("injected fault".into())),
         }
-        if left != u64::MAX {
-            self.fuse.store(left - 1, Ordering::Relaxed);
-        }
-        Ok(())
     }
 }
 
@@ -303,8 +312,20 @@ impl<D: Disk> Disk for FaultyDisk<D> {
         self.inner.read_page(file, page, buf)
     }
     fn write_page(&self, file: FileId, page: PageId, data: &Page) -> Result<()> {
-        self.tick()?;
-        self.inner.write_page(file, page, data)
+        match self.plan.next() {
+            crate::fault::Fault::None => self.inner.write_page(file, page, data),
+            crate::fault::Fault::Fail => Err(StorageError::Io("injected fault".into())),
+            crate::fault::Fault::Torn => {
+                // Persist the first half of the new image over the old
+                // page — the classic torn page — then report failure.
+                let mut torn = Page::new();
+                if self.inner.read_page(file, page, &mut torn).is_ok() {
+                    torn.data[..PAGE_SIZE / 2].copy_from_slice(&data.data[..PAGE_SIZE / 2]);
+                    let _ = self.inner.write_page(file, page, &torn);
+                }
+                Err(StorageError::Io("injected torn page write".into()))
+            }
+        }
     }
     fn sync(&self) -> Result<()> {
         self.tick()?;

@@ -34,6 +34,9 @@ pub enum StorageError {
     LockTimeout { resource: String },
     /// An operation was attempted on an aborted/finished transaction.
     TxnFinished,
+    /// The operation is illegal while a transaction is open (e.g. a
+    /// checkpoint would truncate the log under a live transaction).
+    TxnActive,
     /// The write-ahead log is unreadable past the given offset.
     WalCorrupt { offset: u64 },
     /// A key was required to be unique but already exists in the index.
@@ -66,6 +69,7 @@ impl fmt::Display for StorageError {
                 write!(f, "lock wait timed out on {resource}")
             }
             StorageError::TxnFinished => write!(f, "transaction already committed or aborted"),
+            StorageError::TxnActive => write!(f, "operation not allowed while a transaction is active"),
             StorageError::WalCorrupt { offset } => {
                 write!(f, "write-ahead log unreadable at offset {offset}")
             }

@@ -27,6 +27,7 @@ pub mod buffer;
 pub mod disk;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod hash;
 pub mod heap;
 pub mod lock;
@@ -40,13 +41,14 @@ pub use buffer::BufferPool;
 pub use disk::{Disk, FaultyDisk, FileDisk, MemDisk};
 pub use error::{Result, StorageError};
 pub use exec::{chunk_ranges, run_chunked, ExecutionConfig};
+pub use fault::{Fault, FaultPlan, FaultyLog};
 pub use hash::HashIndex;
 pub use heap::HeapFile;
 pub use lock::{LockManager, LockMode, OwnerId};
 pub use metrics::{AccessKind, DiskMetrics, MetricsSnapshot, PhysicalParams};
 pub use oid::{FileId, Oid, PageId, SlotId};
 pub use page::{Page, SlottedPage, PAGE_SIZE};
-pub use wal::{FileLog, MemLog, TxnId, Wal};
+pub use wal::{FileLog, LogStore, MemLog, TxnId, Wal};
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -66,6 +68,12 @@ pub struct StorageManager {
     metrics: DiskMetrics,
     btrees: Mutex<HashMap<FileId, Arc<BTree>>>,
     hashes: Mutex<HashMap<FileId, Arc<HashIndex>>>,
+    /// Durable managers (file-backed or harness-supplied) run the full
+    /// no-steal + redo-WAL protocol: dirty pages of an open transaction
+    /// stay pinned, commits log after-images and force the log. In-memory
+    /// managers keep only the live-rollback bookkeeping — there is nothing
+    /// to recover after a "crash", so they skip the log traffic entirely.
+    durable: bool,
 }
 
 impl StorageManager {
@@ -87,18 +95,35 @@ impl StorageManager {
             metrics,
             btrees: Mutex::new(HashMap::new()),
             hashes: Mutex::new(HashMap::new()),
+            durable: false,
         }
     }
 
     /// A file-backed storage manager rooted at `dir` (pages under
-    /// `dir/pages`, log at `dir/wal.log`).
+    /// `dir/pages`, log at `dir/wal.log`). Replays the WAL before serving:
+    /// a process that died after commit but before its pages were flushed
+    /// gets them back here.
     pub fn on_disk(dir: impl AsRef<std::path::Path>, frames: usize) -> Result<Self> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
-        let metrics = DiskMetrics::new();
         let disk: Arc<dyn Disk> = Arc::new(FileDisk::open(dir.join("pages"))?);
-        let pool = Arc::new(BufferPool::new(disk, frames, metrics.clone()));
-        let wal = Wal::new(Box::new(FileLog::open(dir.join("wal.log"))?));
+        let log = Box::new(FileLog::open(dir.join("wal.log"))?);
+        Self::with_parts(disk, log, frames)
+    }
+
+    /// Assemble a durable manager from caller-supplied parts — how the
+    /// crash-simulation harness interposes [`FaultyDisk`] / [`FaultyLog`]
+    /// wrappers while keeping the real bytes underneath. Recovery runs
+    /// here, before the buffer pool sees the disk.
+    pub fn with_parts(
+        disk: Arc<dyn Disk>,
+        log: Box<dyn wal::LogStore>,
+        frames: usize,
+    ) -> Result<Self> {
+        let metrics = DiskMetrics::new();
+        let wal = Wal::new(log);
+        wal.recover(&*disk)?;
+        let pool = Arc::new(BufferPool::new_no_steal(disk, frames, metrics.clone()));
         Ok(StorageManager {
             pool,
             locks: Arc::new(LockManager::default()),
@@ -106,6 +131,7 @@ impl StorageManager {
             metrics,
             btrees: Mutex::new(HashMap::new()),
             hashes: Mutex::new(HashMap::new()),
+            durable: true,
         })
     }
 
@@ -174,10 +200,101 @@ impl StorageManager {
         self.hashes.lock().remove(&file);
     }
 
-    /// Flush all dirty pages and truncate the log (checkpoint).
+    /// Flush all dirty pages and truncate the log (checkpoint). Refused
+    /// while a transaction is open: the flush would skip its pinned pages,
+    /// and truncating the log underneath them would lose the last committed
+    /// images a crash-recovery would need.
     pub fn checkpoint(&self) -> Result<()> {
+        if self.pool.txn_active() {
+            return Err(StorageError::TxnActive);
+        }
         self.pool.flush_all()?;
         self.wal.checkpoint()
+    }
+
+    /// Is this manager running the durable (logged, no-steal) protocol?
+    pub fn durable(&self) -> bool {
+        self.durable
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions. One writer at a time (txn_begin blocks on the pool's
+    // transaction slot); SQL sessions drive these for both explicit
+    // BEGIN/COMMIT/ROLLBACK and the per-statement autocommit wrapper.
+    // ------------------------------------------------------------------
+
+    /// Begin a transaction: claim the pool's single writer slot and hand
+    /// out a WAL transaction id.
+    pub fn txn_begin(&self) -> TxnId {
+        self.pool.txn_begin();
+        self.wal.begin()
+    }
+
+    /// Is a transaction currently open on this manager?
+    pub fn txn_active(&self) -> bool {
+        self.pool.txn_active()
+    }
+
+    /// Commit: log the after-image of every page the transaction dirtied,
+    /// append the commit record, and force the log — only then are the
+    /// pages unpinned (they reach disk lazily afterwards). Read-only
+    /// transactions skip the log entirely. If the log cannot take the
+    /// commit durably, the transaction rolls back, an abort record is
+    /// appended best-effort (recovery treats the *last* marker as the
+    /// truth), and the error surfaces.
+    pub fn txn_commit(&self, txn: TxnId) -> Result<()> {
+        if !self.durable {
+            self.pool.txn_end();
+            return Ok(());
+        }
+        let result = (|| {
+            let pages = self.pool.txn_dirty_pages()?;
+            if pages.is_empty() {
+                return Ok(());
+            }
+            for (file, page, image) in &pages {
+                self.wal.log_page_write(txn, *file, *page, image)?;
+            }
+            self.wal.commit(txn)
+        })();
+        match result {
+            Ok(()) => {
+                self.pool.txn_end();
+                Ok(())
+            }
+            Err(e) => {
+                let _ = self.wal.abort(txn);
+                let _ = self.pool.txn_rollback();
+                Err(e)
+            }
+        }
+    }
+
+    /// Roll back: restore every dirtied page's before-image in the pool and
+    /// note the abort in the log (best-effort — recovery ignores the
+    /// transaction anyway, since no commit record exists).
+    pub fn txn_rollback(&self, txn: TxnId) -> Result<()> {
+        let had_writes = self.pool.txn_rollback()?;
+        if self.durable && had_writes {
+            let _ = self.wal.abort(txn);
+        }
+        Ok(())
+    }
+
+    /// Statement-level savepoint inside an explicit transaction; see
+    /// [`BufferPool::stmt_begin`].
+    pub fn stmt_begin(&self) {
+        self.pool.stmt_begin();
+    }
+
+    /// Release the statement savepoint (statement succeeded).
+    pub fn stmt_end(&self) {
+        self.pool.stmt_end();
+    }
+
+    /// Undo just the current statement's page writes.
+    pub fn stmt_rollback(&self) -> Result<()> {
+        self.pool.stmt_rollback()
     }
 }
 
@@ -213,6 +330,58 @@ mod tests {
         drop(heap);
         let again = sm.open_heap(fid);
         assert_eq!(again.get(oid).unwrap(), b"persist me");
+    }
+
+    #[test]
+    fn with_parts_recovers_committed_and_drops_uncommitted() {
+        // Shared disk + log survive the "crash" (dropping the manager);
+        // everything else — pool, pinned dirty pages — is lost with it.
+        let disk = Arc::new(MemDisk::new());
+        let log = Arc::new(MemLog::new());
+        let fid;
+        let oid;
+        {
+            let sm =
+                StorageManager::with_parts(disk.clone(), Box::new(log.clone()), 16).unwrap();
+            let t = sm.txn_begin();
+            let heap = sm.create_heap().unwrap();
+            fid = heap.file_id();
+            oid = heap.insert(b"committed").unwrap();
+            sm.txn_commit(t).unwrap();
+            let _t2 = sm.txn_begin();
+            heap.insert(b"uncommitted").unwrap();
+            // Crash: neither commit nor rollback, pool dropped.
+        }
+        let sm = StorageManager::with_parts(disk, Box::new(log), 16).unwrap();
+        let heap = sm.open_heap(fid);
+        assert_eq!(heap.get(oid).unwrap(), b"committed");
+        assert_eq!(heap.count().unwrap(), 1, "uncommitted insert must vanish");
+    }
+
+    #[test]
+    fn durable_rollback_undoes_a_transaction() {
+        let disk = Arc::new(MemDisk::new());
+        let log = Arc::new(MemLog::new());
+        let sm = StorageManager::with_parts(disk, Box::new(log), 16).unwrap();
+        let t = sm.txn_begin();
+        let heap = sm.create_heap().unwrap();
+        let oid = heap.insert(b"keep").unwrap();
+        sm.txn_commit(t).unwrap();
+        let t = sm.txn_begin();
+        heap.insert(b"discard-1").unwrap();
+        heap.insert(b"discard-2").unwrap();
+        sm.txn_rollback(t).unwrap();
+        assert_eq!(heap.get(oid).unwrap(), b"keep");
+        assert_eq!(heap.count().unwrap(), 1);
+    }
+
+    #[test]
+    fn checkpoint_refused_while_txn_open() {
+        let sm = StorageManager::in_memory();
+        let t = sm.txn_begin();
+        assert!(matches!(sm.checkpoint(), Err(StorageError::TxnActive)));
+        sm.txn_rollback(t).unwrap();
+        sm.checkpoint().unwrap();
     }
 
     #[test]

@@ -56,6 +56,23 @@ impl MemLog {
     }
 }
 
+/// Share one log store between a "before crash" and an "after crash"
+/// instance (the crash-simulation harness keeps the bytes, drops the rest).
+impl<L: LogStore + ?Sized> LogStore for std::sync::Arc<L> {
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        (**self).append(bytes)
+    }
+    fn force(&self) -> Result<()> {
+        (**self).force()
+    }
+    fn read_all(&self) -> Result<Vec<u8>> {
+        (**self).read_all()
+    }
+    fn truncate(&self) -> Result<()> {
+        (**self).truncate()
+    }
+}
+
 impl LogStore for MemLog {
     fn append(&self, bytes: &[u8]) -> Result<()> {
         self.buf.lock().extend_from_slice(bytes);
@@ -82,16 +99,33 @@ pub struct FileLog {
 impl FileLog {
     pub fn open(path: impl Into<std::path::PathBuf>) -> Result<Self> {
         let path = path.into();
+        let existed = path.exists();
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .read(true)
             .open(&path)?;
+        if !existed {
+            // The file's directory entry must itself be durable, or a
+            // metadata crash can lose the (empty) log we just created.
+            sync_parent_dir(&path)?;
+        }
         Ok(FileLog {
             path,
             file: Mutex::new(file),
         })
     }
+}
+
+/// Fsync the directory containing `path` so the entry (creation or new
+/// length after truncation) survives a metadata crash.
+fn sync_parent_dir(path: &std::path::Path) -> Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::File::open(dir)?.sync_all()?;
+        }
+    }
+    Ok(())
 }
 
 impl LogStore for FileLog {
@@ -105,13 +139,22 @@ impl LogStore for FileLog {
         Ok(())
     }
     fn read_all(&self) -> Result<Vec<u8>> {
-        Ok(std::fs::read(&self.path)?)
+        use std::io::{Read, Seek, SeekFrom};
+        // Read through the held handle (append mode ignores the cursor on
+        // writes, so seeking for the read is safe under the lock).
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        Ok(buf)
     }
     fn truncate(&self) -> Result<()> {
-        let f = std::fs::OpenOptions::new().write(true).open(&self.path)?;
-        f.set_len(0)?;
-        f.sync_all()?;
-        Ok(())
+        {
+            let f = self.file.lock();
+            f.set_len(0)?;
+            f.sync_all()?;
+        }
+        sync_parent_dir(&self.path)
     }
 }
 
@@ -190,10 +233,16 @@ impl Wal {
     /// Replay committed transactions' page images onto `disk`.
     ///
     /// Returns the number of pages restored. Stops cleanly at a torn tail.
+    /// Replay is idempotent: running it again over the same log produces a
+    /// byte-identical disk image. A transaction's fate is decided by its
+    /// *last* marker record — an `Abort` written after a `Commit` (as the
+    /// live system does when the commit force fails ambiguously) wins.
     pub fn recover(&self, disk: &dyn Disk) -> Result<usize> {
         let bytes = self.store.read_all()?;
-        let mut records: Vec<(u8, TxnId, Vec<u8>)> = Vec::new();
+        // (kind, txn, payload, offset of the record's own frame)
+        let mut records: Vec<(u8, TxnId, Vec<u8>, u64)> = Vec::new();
         let mut off = 0usize;
+        let mut max_txn = 0u64;
         while off + 8 <= bytes.len() {
             let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
             let sum = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
@@ -206,21 +255,25 @@ impl Wal {
             }
             let kind = body[0];
             let txn = u64::from_le_bytes(body[1..9].try_into().unwrap());
-            records.push((kind, txn, body[9..].to_vec()));
+            max_txn = max_txn.max(txn);
+            records.push((kind, txn, body[9..].to_vec(), off as u64));
             off += 8 + len;
         }
-        let committed: std::collections::HashSet<TxnId> = records
-            .iter()
-            .filter(|(k, _, _)| *k == KIND_COMMIT)
-            .map(|(_, t, _)| *t)
-            .collect();
+        // Last marker wins: an abort appended after a commit record (the
+        // live system's answer to an ambiguous commit failure) overrides it.
+        let mut fate: std::collections::HashMap<TxnId, u8> = std::collections::HashMap::new();
+        for (kind, txn, _, _) in &records {
+            if *kind == KIND_COMMIT || *kind == KIND_ABORT {
+                fate.insert(*txn, *kind);
+            }
+        }
         let mut restored = 0usize;
-        for (kind, txn, payload) in &records {
-            if *kind != KIND_PAGE_IMAGE || !committed.contains(txn) {
+        for (kind, txn, payload, rec_off) in &records {
+            if *kind != KIND_PAGE_IMAGE || fate.get(txn) != Some(&KIND_COMMIT) {
                 continue;
             }
             if payload.len() != 8 + PAGE_SIZE {
-                return Err(StorageError::WalCorrupt { offset: off as u64 });
+                return Err(StorageError::WalCorrupt { offset: *rec_off });
             }
             let file = FileId(u32::from_le_bytes(payload[0..4].try_into().unwrap()));
             let page = PageId(u32::from_le_bytes(payload[4..8].try_into().unwrap()));
@@ -232,7 +285,7 @@ impl Wal {
             while !disk.files().contains(&file) {
                 let made = disk.create_file()?;
                 if made.0 > file.0 || guard == 0 {
-                    return Err(StorageError::WalCorrupt { offset: off as u64 });
+                    return Err(StorageError::WalCorrupt { offset: *rec_off });
                 }
                 guard -= 1;
             }
@@ -244,6 +297,10 @@ impl Wal {
             disk.write_page(file, page, &p)?;
             restored += 1;
         }
+        // New transactions must not collide with ids still present in the
+        // (untruncated) log, or their records would merge on a later replay.
+        let floor = max_txn + 1;
+        self.next_txn.fetch_max(floor, Ordering::Relaxed);
         Ok(restored)
     }
 
@@ -400,6 +457,71 @@ mod tests {
         assert!(wal.size().unwrap() > 0);
         wal.checkpoint().unwrap();
         assert_eq!(wal.size().unwrap(), 0);
+    }
+
+    #[test]
+    fn abort_after_commit_overrides_it() {
+        // The live system appends an abort when a commit's force fails
+        // ambiguously; recovery must honour the later marker.
+        let wal = Wal::new(Box::new(MemLog::new()));
+        let disk = MemDisk::new();
+        let f = disk.create_file().unwrap();
+        disk.allocate_page(f).unwrap();
+        let t = wal.begin();
+        wal.log_page_write(t, f, PageId(0), &page_with(0xEE))
+            .unwrap();
+        wal.commit(t).unwrap();
+        wal.abort(t).unwrap();
+        assert_eq!(wal.recover(&disk).unwrap(), 0);
+        let mut p = Page::new();
+        disk.read_page(f, PageId(0), &mut p).unwrap();
+        assert_eq!(p.data[0], 0, "overridden commit must not replay");
+    }
+
+    #[test]
+    fn corrupt_record_reports_its_own_offset() {
+        // A well-framed page-image record with a short payload sits at
+        // offset 0, followed by a valid commit. The error must name the
+        // offending record's offset, not the end-of-scan offset.
+        let log = MemLog::new();
+        log.append(&Wal::frame(KIND_PAGE_IMAGE, 1, &[0u8; 4])).unwrap();
+        let wal = Wal::new(Box::new(log));
+        wal.commit(1).unwrap();
+        let disk = MemDisk::new();
+        match wal.recover(&disk) {
+            Err(StorageError::WalCorrupt { offset }) => assert_eq!(offset, 0),
+            other => panic!("expected WalCorrupt at offset 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recovery_is_idempotent_and_bumps_txn_floor() {
+        let log = std::sync::Arc::new(MemLog::new());
+        let disk = MemDisk::new();
+        let f = disk.create_file().unwrap();
+        {
+            let wal = Wal::new(Box::new(log.clone()));
+            let t = wal.begin();
+            wal.log_page_write(t, f, PageId(2), &page_with(0x5A))
+                .unwrap();
+            wal.commit(t).unwrap();
+        }
+        let wal = Wal::new(Box::new(log));
+        assert_eq!(wal.recover(&disk).unwrap(), 1);
+        let snap = |d: &MemDisk| -> Vec<Vec<u8>> {
+            (0..d.page_count(f).unwrap())
+                .map(|i| {
+                    let mut p = Page::new();
+                    d.read_page(f, PageId(i), &mut p).unwrap();
+                    p.data.to_vec()
+                })
+                .collect()
+        };
+        let first = snap(&disk);
+        assert_eq!(wal.recover(&disk).unwrap(), 1);
+        assert_eq!(snap(&disk), first, "second replay must be byte-identical");
+        // New txns must not reuse ids still in the log.
+        assert!(wal.begin() > 1);
     }
 
     #[test]
