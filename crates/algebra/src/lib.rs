@@ -18,6 +18,7 @@ pub mod join;
 pub mod ops;
 pub mod restructure;
 pub mod setops;
+pub mod traced;
 
 pub use collection::{
     as_extent_return, as_set_list_elements, dupelim_return, join_return, select_return,
@@ -40,3 +41,4 @@ pub use setops::{
     difference, difference_par, dup_elim, dup_elim_par, intersection, intersection_par, union,
     union_par,
 };
+pub use traced::{traced_join, traced_select};

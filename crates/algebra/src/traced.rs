@@ -1,0 +1,85 @@
+//! Span-wrapped algebra operators.
+//!
+//! Thin adapters over [`ops::select`](crate::ops::select) and
+//! [`join::join`](crate::join::join) that run the operator inside a
+//! `mood-trace` span named `op:SELECT` / `op:JOIN(<METHOD>)`, recording the
+//! result cardinality and the disk-counter delta. Callers driving the
+//! algebra directly (benches, the algebra tests) get the same per-operator
+//! observability the MOODSQL executor produces, without threading a tracer
+//! through every operator signature.
+
+use mood_catalog::Catalog;
+use mood_storage::DiskMetrics;
+use mood_trace::Tracer;
+
+use crate::collection::{Collection, Obj};
+use crate::error::Result;
+use crate::join::{join, JoinMethod, JoinRhs};
+use crate::ops::{select, Predicate};
+
+/// [`select`] inside an `op:SELECT` span.
+pub fn traced_select(
+    tracer: &Tracer,
+    metrics: &DiskMetrics,
+    catalog: &Catalog,
+    arg: &Collection,
+    p: Predicate<'_>,
+) -> Result<Collection> {
+    let mut span = tracer.span("op:SELECT", metrics);
+    let out = select(catalog, arg, p)?;
+    span.set_rows(out.len() as u64);
+    Ok(out)
+}
+
+/// [`join`] inside an `op:JOIN(<METHOD>)` span.
+pub fn traced_join(
+    tracer: &Tracer,
+    metrics: &DiskMetrics,
+    catalog: &Catalog,
+    left: &Collection,
+    attr: &str,
+    rhs: JoinRhs<'_>,
+    method: JoinMethod,
+) -> Result<Vec<(Obj, Obj)>> {
+    let mut span = tracer.span(format!("op:JOIN({})", method.plan_name()), metrics);
+    let pairs = join(catalog, left, attr, rhs, method)?;
+    span.set_rows(pairs.len() as u64);
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mood_trace::RingBuffer;
+
+    #[test]
+    fn traced_select_emits_an_operator_span() {
+        let sm = std::sync::Arc::new(mood_storage::StorageManager::in_memory());
+        let catalog = Catalog::create(sm.clone()).unwrap();
+        let builder = mood_catalog::ClassBuilder::class("C")
+            .attribute("x", mood_datamodel::TypeDescriptor::integer());
+        catalog.define_class(builder).unwrap();
+        for i in 0..4 {
+            catalog
+                .new_object(
+                    "C",
+                    mood_datamodel::Value::tuple(vec![("x", mood_datamodel::Value::Integer(i))]),
+                )
+                .unwrap();
+        }
+        let tracer = Tracer::new();
+        let ring = RingBuffer::new(8);
+        tracer.subscribe(ring.clone());
+
+        let extent = crate::ops::bind_class(&catalog, "C", false, &[]).unwrap();
+        let kept = traced_select(&tracer, sm.metrics(), &catalog, &extent, &|o| {
+            Ok(o.value.field("x").and_then(|v| v.as_f64()).unwrap_or(0.0) >= 2.0)
+        })
+        .unwrap();
+        assert_eq!(kept.len(), 2);
+
+        let spans = ring.named("op:SELECT");
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].rows, Some(2));
+    }
+}

@@ -8,11 +8,11 @@
 //!
 //! Statements end with `;` (or end-of-line for single-line input). Shell
 //! commands: `.help`, `.classes`, `.schema [Class]`, `.hierarchy`,
-//! `.stats`, `.trace`, `.quit`.
+//! `.stats`, `.trace`, `.spans`, `.metrics`, `.quit`.
 
 use std::io::{BufRead, Write};
 
-use mood_core::{Answer, Mood};
+use mood_core::{Answer, Mood, RingBuffer};
 
 fn main() {
     let arg = std::env::args().nth(1);
@@ -33,6 +33,10 @@ fn main() {
         }
     };
 
+    // Keep the last few hundred query-lifecycle spans for `.spans`.
+    let spans = RingBuffer::new(256);
+    db.tracer().subscribe(spans.clone());
+
     let stdin = std::io::stdin();
     let interactive = is_tty();
     let mut buffer = String::new();
@@ -46,7 +50,7 @@ fn main() {
         };
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with('.') {
-            if !shell_command(&db, trimmed) {
+            if !shell_command(&db, &spans, trimmed) {
                 break;
             }
             if interactive {
@@ -114,7 +118,7 @@ fn run(db: &Mood, sql: &str) {
     }
 }
 
-fn shell_command(db: &Mood, cmd: &str) -> bool {
+fn shell_command(db: &Mood, spans: &RingBuffer, cmd: &str) -> bool {
     let mut parts = cmd.splitn(2, ' ');
     match parts.next().unwrap_or("") {
         ".quit" | ".exit" => return false,
@@ -126,6 +130,8 @@ fn shell_command(db: &Mood, cmd: &str) -> bool {
                  .dot                Graphviz DOT of the hierarchy\n\
                  .stats              collect and show Table 8 statistics\n\
                  .trace              stage trace of the last SELECT\n\
+                 .spans              recent query-lifecycle spans\n\
+                 .metrics            engine-wide metrics registry\n\
                  .quit               leave\n\
                  Any other input is MOODSQL (end statements with ';')."
             );
@@ -156,6 +162,16 @@ fn shell_command(db: &Mood, cmd: &str) -> bool {
             Err(e) => eprintln!("error: {e}"),
         },
         ".trace" => println!("{}", db.last_trace().join(" -> ")),
+        ".spans" => {
+            for r in spans.records() {
+                println!("{}", mood_core::trace::render_span(&r));
+            }
+        }
+        ".metrics" => {
+            for (k, v) in db.engine_metrics().rows() {
+                println!("{k} = {v}");
+            }
+        }
         other => eprintln!("unknown command {other}; try .help"),
     }
     true

@@ -28,6 +28,7 @@ pub use mood_funcman as funcman;
 pub use mood_optimizer as optimizer;
 pub use mood_sql as sql;
 pub use mood_storage as storage;
+pub use mood_trace as trace;
 pub use mood_view as view;
 
 pub use mood_catalog::{Catalog, CatalogRoot, ClassBuilder, DatabaseStats, IndexKind, MethodSig};
@@ -35,7 +36,11 @@ pub use mood_datamodel::{TypeDescriptor, Value};
 pub use mood_funcman::{Exception, FunctionManager, NativeFn};
 pub use mood_optimizer::OptimizerConfig;
 pub use mood_sql::{Answer, Cursor, QueryResult, Session, SqlError};
-pub use mood_storage::{DiskMetrics, MetricsSnapshot, Oid, PhysicalParams, StorageManager};
+pub use mood_storage::{
+    DiskMetrics, EngineMetrics, MetricsRegistry, MetricsSnapshot, Oid, PhysicalParams,
+    StorageManager,
+};
+pub use mood_trace::{RingBuffer, SpanRecord, TextDump, Tracer};
 
 /// Top-level error for kernel operations.
 #[derive(Debug)]
@@ -198,6 +203,17 @@ impl Mood {
         }
     }
 
+    /// Execute a query with per-operator instrumentation and return the
+    /// estimate-vs-actual report (`EXPLAIN ANALYZE`).
+    pub fn explain_analyze(&self, sql: &str) -> Result<String> {
+        match self.execute(&format!("EXPLAIN ANALYZE {sql}"))? {
+            Answer::Plan(p) => Ok(p),
+            other => Err(MoodError::Sql(SqlError::Exec(format!(
+                "not a plan: {other:?}"
+            )))),
+        }
+    }
+
     /// Stage trace of the last executed SELECT.
     pub fn last_trace(&self) -> Vec<String> {
         self.session.lock().last_trace().to_vec()
@@ -235,6 +251,19 @@ impl Mood {
     /// Disk-access metrics (the instrumentation the benches read).
     pub fn metrics(&self) -> &DiskMetrics {
         self.sm.metrics()
+    }
+
+    /// A point-in-time snapshot of the engine-wide metrics registry:
+    /// buffer/disk counters, WAL appends and fsyncs, lock waits, and
+    /// per-operator lifetime totals (also reachable as `SHOW METRICS`).
+    pub fn engine_metrics(&self) -> EngineMetrics {
+        self.sm.registry().snapshot()
+    }
+
+    /// The session tracer. Attach a subscriber (e.g. [`RingBuffer`]) to
+    /// observe parse/bind/optimize/execute and per-operator spans.
+    pub fn tracer(&self) -> Tracer {
+        self.session.lock().tracer().clone()
     }
 
     /// Register a natively implemented method (the analogue of linking

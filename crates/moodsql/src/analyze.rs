@@ -1,0 +1,513 @@
+//! `EXPLAIN ANALYZE` — instrumented execution with estimate-vs-actual
+//! accounting.
+//!
+//! The executor shares node identities with the optimizer's estimator:
+//! plan nodes are numbered pre-order over `[temp1, temp2, …, root]` (see
+//! `Plan::subtree_size`), so estimate `id` N and the measured actuals for
+//! node N describe the same operator.
+//!
+//! Accounting is *exact* for page counters. Each node window records the
+//! **inclusive** global [`DiskMetrics`] delta (the node plus its subtree);
+//! a node's **exclusive** delta is its inclusive delta minus its direct
+//! children's inclusive deltas. Children windows nest disjointly inside
+//! their parent's window — parallel workers only run inside one node's
+//! window at a time — so the subtraction telescopes: the sum of every
+//! node's exclusive delta equals the tree roots' inclusive deltas, and
+//! adding the coordinator stage windows (PLAN, GROUP BY, …) reproduces the
+//! query's total counter delta component by component.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use mood_optimizer::{NodeEstimate, Plan, PlanSet};
+use mood_storage::{DiskMetrics, MetricsRegistry, MetricsSnapshot};
+
+use crate::error::Result;
+use crate::exec::QueryResult;
+
+/// Measured actuals for one plan node.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NodeActual {
+    /// Rows the node produced.
+    pub rows: u64,
+    /// Inclusive counter delta: the node *and* its subtree.
+    pub inclusive: MetricsSnapshot,
+    /// Wall-clock nanoseconds (inclusive).
+    pub nanos: u64,
+}
+
+/// Per-node recording sink for one term's execution. Shared by reference
+/// down the plan walk; a `Mutex` keeps `&Executor` usable from worker
+/// threads (windows themselves are opened on the coordinating thread).
+pub(crate) struct AnalyzeRec {
+    pub(crate) metrics: DiskMetrics,
+    nodes: Mutex<HashMap<usize, NodeActual>>,
+}
+
+impl AnalyzeRec {
+    pub(crate) fn new(metrics: DiskMetrics) -> Self {
+        AnalyzeRec {
+            metrics,
+            nodes: Mutex::new(HashMap::new()),
+        }
+    }
+
+    pub(crate) fn record(&self, nid: usize, rows: u64, inclusive: MetricsSnapshot, nanos: u64) {
+        let mut nodes = self.nodes.lock().expect("analyze lock");
+        let e = nodes.entry(nid).or_default();
+        e.rows += rows;
+        e.inclusive = e.inclusive.plus(&inclusive);
+        e.nanos += nanos;
+    }
+
+    pub(crate) fn into_nodes(self) -> HashMap<usize, NodeActual> {
+        self.nodes.into_inner().expect("analyze lock")
+    }
+}
+
+/// Measured actuals for one coordinator stage (PLAN, FROM fallback,
+/// WHERE:UNION, GROUP BY, HAVING, PROJECT, ORDER BY, DISTINCT).
+#[derive(Debug, Clone)]
+pub struct StageActual {
+    pub name: String,
+    pub rows: u64,
+    pub delta: MetricsSnapshot,
+    pub nanos: u64,
+}
+
+/// Stage recording sink: every statement-level phase outside the plan walk
+/// runs inside one of these windows so the page accounting stays complete.
+pub(crate) struct StageRec {
+    metrics: DiskMetrics,
+    stages: Mutex<Vec<StageActual>>,
+}
+
+impl StageRec {
+    pub(crate) fn new(metrics: DiskMetrics) -> Self {
+        StageRec {
+            metrics,
+            stages: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn window<T>(
+        &self,
+        name: &str,
+        rows_of: impl FnOnce(&T) -> u64,
+        f: impl FnOnce() -> Result<T>,
+    ) -> Result<T> {
+        let start = Instant::now();
+        let before = self.metrics.snapshot();
+        let out = f()?;
+        self.stages.lock().expect("stage lock").push(StageActual {
+            name: name.to_string(),
+            rows: rows_of(&out),
+            delta: self.metrics.snapshot().delta(&before),
+            nanos: start.elapsed().as_nanos() as u64,
+        });
+        Ok(out)
+    }
+
+    pub(crate) fn into_stages(self) -> Vec<StageActual> {
+        self.stages.into_inner().expect("stage lock")
+    }
+}
+
+/// Run `f` inside a stage window when recording, or plain when not — lets
+/// the ordinary `SELECT` path share the staged code verbatim.
+pub(crate) fn staged<T>(
+    stages: Option<&StageRec>,
+    name: &str,
+    rows_of: impl FnOnce(&T) -> u64,
+    f: impl FnOnce() -> Result<T>,
+) -> Result<T> {
+    match stages {
+        None => f(),
+        Some(s) => s.window(name, rows_of, f),
+    }
+}
+
+/// One plan node with its estimate and (when the executor materialized the
+/// node itself) its measured actuals.
+#[derive(Debug, Clone)]
+pub struct NodeReport {
+    /// Nesting depth inside the node's tree (for rendering).
+    pub depth: usize,
+    /// The cost model's prediction.
+    pub est: NodeEstimate,
+    /// Measured actuals; `None` when the operator was fused into its parent
+    /// (unmaterialized right sides of forward/hash joins — their pages land
+    /// in the join's exclusive delta).
+    pub actual: Option<NodeActual>,
+    /// Exclusive counter delta: the node's own page work, children removed.
+    pub exclusive: MetricsSnapshot,
+}
+
+/// One AND-term's plan with per-node reports (shared pre-order ids).
+#[derive(Debug, Clone)]
+pub struct TermReport {
+    pub plan: PlanSet,
+    pub nodes: Vec<NodeReport>,
+}
+
+impl TermReport {
+    pub(crate) fn build(
+        plan: PlanSet,
+        est: Vec<NodeEstimate>,
+        actuals: HashMap<usize, NodeActual>,
+    ) -> TermReport {
+        let ds = depths(&plan);
+        let kids = children_ids(&plan);
+        let nodes = est
+            .into_iter()
+            .map(|e| NodeReport {
+                depth: ds[e.id],
+                actual: actuals.get(&e.id).copied(),
+                exclusive: exclusive_of(e.id, &kids, &actuals),
+                est: e,
+            })
+            .collect();
+        TermReport { plan, nodes }
+    }
+
+    /// Actual rows produced by the term's root node.
+    pub fn root_actual_rows(&self) -> Option<u64> {
+        let offset: usize = self.plan.temps.iter().map(|(_, p)| p.subtree_size()).sum();
+        self.nodes
+            .get(offset)
+            .and_then(|n| n.actual.as_ref())
+            .map(|a| a.rows)
+    }
+
+    fn render_into(&self, out: &mut String) {
+        let mut idx = 0usize;
+        for (name, p) in &self.plan.temps {
+            out.push_str(&format!("{name} :\n"));
+            let n = p.subtree_size();
+            for node in &self.nodes[idx..idx + n] {
+                node.render_into(out, 1);
+            }
+            idx += n;
+        }
+        for node in &self.nodes[idx..] {
+            node.render_into(out, 0);
+        }
+    }
+}
+
+impl NodeReport {
+    fn render_into(&self, out: &mut String, base: usize) {
+        let pad = "  ".repeat(base + self.depth);
+        out.push_str(&format!("{pad}{}\n", self.est.label));
+        out.push_str(&format!("{pad}  est: {}", est_summary(&self.est)));
+        match &self.actual {
+            Some(a) => out.push_str(&format!(
+                " | act: rows={} pages={} time={:.3}ms | rows-off={:.1}x\n",
+                a.rows,
+                pages(&self.exclusive),
+                a.nanos as f64 / 1e6,
+                misestimation(self.est.rows, a.rows),
+            )),
+            None => out.push_str(" | act: (fused into parent)\n"),
+        }
+    }
+}
+
+/// The full `EXPLAIN ANALYZE` result: the query's rows plus the per-term
+/// node reports, the coordinator stages, and the query-wide counter delta.
+#[derive(Debug, Clone)]
+pub struct AnalyzeReport {
+    pub result: QueryResult,
+    pub terms: Vec<TermReport>,
+    pub stages: Vec<StageActual>,
+    /// Counter delta over the whole statement.
+    pub total: MetricsSnapshot,
+    pub elapsed_nanos: u64,
+}
+
+impl AnalyzeReport {
+    /// Σ per-node exclusive deltas + Σ stage deltas. Equals [`total`] for
+    /// the page/buffer counters — the accounting invariant the tests pin.
+    ///
+    /// [`total`]: AnalyzeReport::total
+    pub fn accounted(&self) -> MetricsSnapshot {
+        let mut acc = MetricsSnapshot::default();
+        for t in &self.terms {
+            for n in &t.nodes {
+                acc = acc.plus(&n.exclusive);
+            }
+        }
+        for s in &self.stages {
+            acc = acc.plus(&s.delta);
+        }
+        acc
+    }
+
+    /// Human-readable plan tree with estimate-vs-actual per node.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, term) in self.terms.iter().enumerate() {
+            if self.terms.len() > 1 {
+                out.push_str(&format!("-- term {} of {}:\n", i + 1, self.terms.len()));
+            }
+            term.render_into(&mut out);
+        }
+        if self.terms.is_empty() {
+            out.push_str("-- nested-loop fallback (no per-operator plan)\n");
+        }
+        out.push_str("-- stages:\n");
+        for s in &self.stages {
+            out.push_str(&format!(
+                "--   {}: rows={} pages={} time={:.3}ms\n",
+                s.name,
+                s.rows,
+                pages(&s.delta),
+                s.nanos as f64 / 1e6
+            ));
+        }
+        out.push_str(&format!(
+            "-- total: rows={} pages={} (seq={} rnd={} idx={} w={}) time={:.3}ms\n",
+            self.result.len(),
+            pages(&self.total),
+            self.total.seq_pages,
+            self.total.rnd_pages,
+            self.total.idx_pages,
+            self.total.writes,
+            self.elapsed_nanos as f64 / 1e6
+        ));
+        out
+    }
+}
+
+/// Total page work of a counter delta (reads of all kinds plus writes).
+pub(crate) fn pages(s: &MetricsSnapshot) -> u64 {
+    s.total_reads() + s.writes
+}
+
+/// Symmetric misestimation factor: `max(est/act, act/est)`, both floored
+/// at one row so empty results stay finite. 1.0 = perfect estimate.
+pub fn misestimation(est_rows: f64, actual_rows: u64) -> f64 {
+    let e = est_rows.max(1.0);
+    let a = (actual_rows as f64).max(1.0);
+    (e / a).max(a / e)
+}
+
+/// Short operator kind for spans and registry totals.
+pub(crate) fn op_kind(plan: &Plan) -> String {
+    match plan {
+        Plan::Bind { .. } => "BIND".into(),
+        Plan::Temp { .. } => "TEMP".into(),
+        Plan::Select { .. } => "SELECT".into(),
+        Plan::IndSel { .. } => "INDSEL".into(),
+        Plan::Join { method, .. } => format!("JOIN({})", method.plan_name()),
+        Plan::Project { .. } => "PROJECT".into(),
+        Plan::Sort { .. } => "SORT".into(),
+        Plan::Partition { .. } => "PARTITION".into(),
+        Plan::Union { .. } => "UNION".into(),
+    }
+}
+
+/// Fold one term's measured nodes into the engine-wide operator totals.
+pub(crate) fn record_operator_totals(
+    registry: &MetricsRegistry,
+    set: &PlanSet,
+    actuals: &HashMap<usize, NodeActual>,
+) {
+    let kinds = node_kinds(set);
+    let kids = children_ids(set);
+    for (id, kind) in kinds.iter().enumerate() {
+        if let Some(a) = actuals.get(&id) {
+            let ex = exclusive_of(id, &kids, actuals);
+            registry.record_operator(kind, a.rows, pages(&ex), a.nanos);
+        }
+    }
+}
+
+/// Per-node depth within its tree, in the shared pre-order id order.
+pub(crate) fn depths(set: &PlanSet) -> Vec<usize> {
+    fn walk(p: &Plan, d: usize, out: &mut Vec<usize>) {
+        out.push(d);
+        for c in p.children() {
+            walk(c, d + 1, out);
+        }
+    }
+    let mut out = Vec::new();
+    for (_, p) in &set.temps {
+        walk(p, 0, &mut out);
+    }
+    walk(&set.root, 0, &mut out);
+    out
+}
+
+/// Direct-children ids per node, in the shared pre-order id order.
+pub(crate) fn children_ids(set: &PlanSet) -> Vec<Vec<usize>> {
+    fn walk(p: &Plan, id: usize, out: &mut Vec<Vec<usize>>) {
+        let mut kid = id + 1;
+        let mut mine = Vec::new();
+        for c in p.children() {
+            mine.push(kid);
+            walk(c, kid, out);
+            kid += c.subtree_size();
+        }
+        out[id] = mine;
+    }
+    let total: usize = set
+        .temps
+        .iter()
+        .map(|(_, p)| p.subtree_size())
+        .sum::<usize>()
+        + set.root.subtree_size();
+    let mut out = vec![Vec::new(); total];
+    let mut offset = 0usize;
+    for (_, p) in &set.temps {
+        walk(p, offset, &mut out);
+        offset += p.subtree_size();
+    }
+    walk(&set.root, offset, &mut out);
+    out
+}
+
+fn node_kinds(set: &PlanSet) -> Vec<String> {
+    fn walk(p: &Plan, out: &mut Vec<String>) {
+        out.push(op_kind(p));
+        for c in p.children() {
+            walk(c, out);
+        }
+    }
+    let mut out = Vec::new();
+    for (_, p) in &set.temps {
+        walk(p, &mut out);
+    }
+    walk(&set.root, &mut out);
+    out
+}
+
+fn exclusive_of(
+    id: usize,
+    kids: &[Vec<usize>],
+    actuals: &HashMap<usize, NodeActual>,
+) -> MetricsSnapshot {
+    let Some(a) = actuals.get(&id) else {
+        return MetricsSnapshot::default();
+    };
+    let mut ex = a.inclusive;
+    for k in &kids[id] {
+        if let Some(c) = actuals.get(k) {
+            ex = ex.delta(&c.inclusive);
+        }
+    }
+    ex
+}
+
+/// Estimate half of a node line, shared by `EXPLAIN` (est-only) and
+/// `EXPLAIN ANALYZE`.
+pub(crate) fn est_summary(e: &NodeEstimate) -> String {
+    let mut s = format!("rows={:.0}", e.rows);
+    if let Some(sel) = e.selectivity {
+        s.push_str(&format!(" sel={sel:.3e}"));
+    }
+    s.push_str(&format!(" pages={:.1}", e.pages));
+    s
+}
+
+/// Per-node estimate block appended to `EXPLAIN` output (comment style, so
+/// the paper-notation plan text stays byte-comparable).
+pub(crate) fn render_estimates(set: &PlanSet, est: &[NodeEstimate]) -> String {
+    let ds = depths(set);
+    // `-- * ` rather than `--   `: the PathSelInfo dictionary owns the
+    // latter prefix and conformance tests count its rows by it.
+    let mut out = String::from("-- Node estimates (rows, selectivity, pages):\n");
+    for e in est {
+        out.push_str(&format!(
+            "-- * {}{}: {}\n",
+            "  ".repeat(ds[e.id]),
+            e.label,
+            est_summary(e)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mood_cost::JoinMethod;
+
+    fn sample_set() -> PlanSet {
+        // T1 : JOIN(BIND(A, a), SELECT(BIND(B, b), p), FT, cond); root uses T1.
+        PlanSet {
+            temps: vec![(
+                "T1".to_string(),
+                Plan::join(
+                    Plan::bind("A", "a"),
+                    Plan::select(Plan::bind("B", "b"), "b.x = 1"),
+                    JoinMethod::ForwardTraversal,
+                    "a.r = b.self",
+                ),
+            )],
+            root: Plan::select(Plan::temp("T1"), "a.y = 2"),
+            estimated_cost: 0.0,
+        }
+    }
+
+    #[test]
+    fn children_ids_follow_the_preorder_scheme() {
+        let set = sample_set();
+        let kids = children_ids(&set);
+        // T1 tree: 0=JOIN, 1=BIND(A), 2=SELECT, 3=BIND(B); root: 4=SELECT, 5=T1.
+        assert_eq!(kids[0], vec![1, 2]);
+        assert_eq!(kids[2], vec![3]);
+        assert_eq!(kids[4], vec![5]);
+        assert!(kids[1].is_empty() && kids[3].is_empty() && kids[5].is_empty());
+    }
+
+    #[test]
+    fn exclusive_subtracts_direct_children_only() {
+        let set = sample_set();
+        let kids = children_ids(&set);
+        let mut actuals = HashMap::new();
+        let snap = |rnd: u64| MetricsSnapshot {
+            rnd_pages: rnd,
+            ..Default::default()
+        };
+        actuals.insert(
+            0,
+            NodeActual {
+                rows: 10,
+                inclusive: snap(100),
+                nanos: 0,
+            },
+        );
+        actuals.insert(
+            1,
+            NodeActual {
+                rows: 5,
+                inclusive: snap(30),
+                nanos: 0,
+            },
+        );
+        // Node 2 (SELECT over BIND(B)) was fused — no record; its pages stay
+        // in the join's exclusive.
+        let ex = exclusive_of(0, &kids, &actuals);
+        assert_eq!(ex.rnd_pages, 70);
+        assert_eq!(exclusive_of(2, &kids, &actuals), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn misestimation_is_symmetric_and_floored() {
+        assert!((misestimation(100.0, 10) - 10.0).abs() < 1e-12);
+        assert!((misestimation(10.0, 100) - 10.0).abs() < 1e-12);
+        assert!((misestimation(0.0, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn op_kinds_name_join_methods() {
+        let set = sample_set();
+        let kinds = node_kinds(&set);
+        assert_eq!(
+            kinds,
+            vec!["JOIN(FORWARD_TRAVERSAL)", "BIND", "SELECT", "BIND", "SELECT", "TEMP"]
+        );
+    }
+}

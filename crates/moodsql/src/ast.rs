@@ -8,6 +8,11 @@ pub enum Statement {
     Select(SelectStmt),
     /// `EXPLAIN SELECT …` — optimize only, return the plan text.
     Explain(SelectStmt),
+    /// `EXPLAIN ANALYZE SELECT …` — execute with per-operator
+    /// instrumentation, return the estimate-vs-actual report.
+    ExplainAnalyze(SelectStmt),
+    /// `SHOW METRICS` — dump the engine-wide metrics registry.
+    ShowMetrics,
     CreateClass(CreateClass),
     DropClass(String),
     /// `new Employee <'Budak Arpinar', 'Computer Engineer', 1969>` —

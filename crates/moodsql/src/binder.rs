@@ -49,7 +49,10 @@ pub fn classify(stmt: &Statement) -> StmtKind {
         Statement::NewObject { .. } | Statement::Delete { .. } | Statement::Update { .. } => {
             StmtKind::Dml
         }
-        Statement::Select(_) | Statement::Explain(_) => StmtKind::Query,
+        Statement::Select(_)
+        | Statement::Explain(_)
+        | Statement::ExplainAnalyze(_)
+        | Statement::ShowMetrics => StmtKind::Query,
     }
 }
 

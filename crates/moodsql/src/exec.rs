@@ -9,15 +9,21 @@
 //! UNION). An execution trace records the stages for the conformance tests.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Instant;
 
 use mood_catalog::Catalog;
 use mood_cost::JoinMethod;
 use mood_datamodel::{encode_value, Value};
 use mood_funcman::{FunctionManager, OperandDataType};
-use mood_optimizer::{optimize, OptimizerConfig, Plan};
+use mood_optimizer::{estimate_plan_set, optimize, OptimizerConfig, Plan, PlanSet};
 use mood_storage::exec::run_chunked;
 use mood_storage::Oid;
+use mood_trace::Tracer;
 
+use crate::analyze::{
+    op_kind, record_operator_totals, render_estimates, staged, AnalyzeRec, AnalyzeReport, StageRec,
+    TermReport,
+};
 use crate::ast::{AggFunc, Expr, Lit, PathRef, SelectStmt};
 use crate::binder::{lower, Lowered};
 use crate::error::{Result, SqlError};
@@ -65,6 +71,7 @@ pub struct Executor<'a> {
     pub funcman: &'a FunctionManager,
     pub config: OptimizerConfig,
     trace: std::sync::Mutex<Vec<String>>,
+    tracer: Tracer,
 }
 
 impl<'a> Executor<'a> {
@@ -74,11 +81,19 @@ impl<'a> Executor<'a> {
             funcman,
             config: OptimizerConfig::default(),
             trace: std::sync::Mutex::new(Vec::new()),
+            tracer: Tracer::new(),
         }
     }
 
     pub fn with_config(mut self, config: OptimizerConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Share a tracer: lifecycle and per-operator spans go to its
+    /// subscribers.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 
@@ -117,10 +132,12 @@ impl<'a> Executor<'a> {
         })
     }
 
-    /// Optimize only: the plan text (the `EXPLAIN` statement).
+    /// Optimize only: the plan text (the `EXPLAIN` statement), with the
+    /// cost model's per-node estimates in a comment block.
     pub fn explain(&self, stmt: &SelectStmt) -> Result<String> {
         let lowered = lower(self.catalog, stmt)?;
-        let optimized = optimize(&lowered.spec, &self.catalog.stats(), &self.config);
+        let stats = self.catalog.stats();
+        let optimized = optimize(&lowered.spec, &stats, &self.config);
         let mut out = String::new();
         for term in &optimized.terms {
             if !term.path_sel_info.is_empty() {
@@ -132,6 +149,8 @@ impl<'a> Executor<'a> {
                     ));
                 }
             }
+            let est = estimate_plan_set(&term.plan, &stats, &self.config);
+            out.push_str(&render_estimates(&term.plan, &est));
             out.push_str(&term.plan.to_string());
             out.push('\n');
         }
@@ -144,101 +163,239 @@ impl<'a> Executor<'a> {
 
     pub fn run_select(&self, stmt: &SelectStmt) -> Result<QueryResult> {
         self.trace.lock().expect("trace lock").clear();
-        let lowered = lower(self.catalog, stmt)?;
+        let metrics = self.catalog.storage().metrics().clone();
+        let lowered = {
+            let _span = self.tracer.span("bind", &metrics);
+            lower(self.catalog, stmt)?
+        };
+        let mut exec_span = self.tracer.span("execute", &metrics);
         self.mark("FROM");
-        let mut rows = if lowered.unabsorbed.is_empty() {
+        let rows = if lowered.unabsorbed.is_empty() {
             self.run_optimized(stmt, &lowered)?
         } else {
             self.run_nested_loop(stmt, &lowered)?
         };
+        let result = self.finish_select(stmt, rows, None)?;
+        exec_span.set_rows(result.len() as u64);
+        Ok(result)
+    }
 
-        // GROUP BY / HAVING (Figure 7.1).
+    /// Execute with full instrumentation: the `EXPLAIN ANALYZE` statement.
+    ///
+    /// Every plan node runs inside a recording window (rows, inclusive
+    /// counter delta, wall time), every coordinator stage inside a stage
+    /// window, so the report's exclusive deltas plus stage deltas sum
+    /// exactly to the statement's total counter delta.
+    pub fn analyze(&self, stmt: &SelectStmt) -> Result<AnalyzeReport> {
+        self.trace.lock().expect("trace lock").clear();
+        let metrics = self.catalog.storage().metrics().clone();
+        let registry = self.catalog.storage().registry().clone();
+        let stages = StageRec::new(metrics.clone());
+        let start = Instant::now();
+        let before = metrics.snapshot();
+        // PLAN: bind + statistics + optimize + per-node estimates.
+        let (lowered, planned) = stages.window(
+            "PLAN",
+            |_: &_| 0,
+            || {
+                let lowered = {
+                    let _span = self.tracer.span("bind", &metrics);
+                    lower(self.catalog, stmt)?
+                };
+                if self.catalog.stats().class(&lowered.root.class).is_none() {
+                    self.catalog.collect_stats()?;
+                }
+                let stats = self.catalog.stats();
+                let _span = self.tracer.span("optimize", &metrics);
+                let optimized = optimize(&lowered.spec, &stats, &self.config);
+                let planned: Vec<(PlanSet, _)> = optimized
+                    .terms
+                    .iter()
+                    .map(|t| {
+                        (
+                            t.plan.clone(),
+                            estimate_plan_set(&t.plan, &stats, &self.config),
+                        )
+                    })
+                    .collect();
+                Ok((lowered, planned))
+            },
+        )?;
+        let mut exec_span = self.tracer.span("execute", &metrics);
+        self.mark("FROM");
+        let mut terms: Vec<TermReport> = Vec::new();
+        let mut all_rows: Vec<Row> = Vec::new();
+        if lowered.unabsorbed.is_empty() {
+            for (plan, est) in planned {
+                let rec = AnalyzeRec::new(metrics.clone());
+                let rows = self.exec_term(&plan, &lowered, Some(&rec))?;
+                all_rows.extend(rows);
+                let actuals = rec.into_nodes();
+                record_operator_totals(&registry, &plan, &actuals);
+                terms.push(TermReport::build(plan, est, actuals));
+            }
+            if terms.len() > 1 {
+                self.mark("WHERE:UNION");
+                all_rows = stages.window(
+                    "WHERE:UNION",
+                    |r: &Vec<Row>| r.len() as u64,
+                    || {
+                        let mut rows = all_rows;
+                        dedupe_bindings(&mut rows);
+                        Ok(rows)
+                    },
+                )?;
+            }
+        } else {
+            // Nested-loop fallback: no per-operator plan, but the FROM
+            // stage window keeps the page accounting complete.
+            all_rows = stages.window(
+                "FROM",
+                |r: &Vec<Row>| r.len() as u64,
+                || self.run_nested_loop(stmt, &lowered),
+            )?;
+        }
+        let result = self.finish_select(stmt, all_rows, Some(&stages))?;
+        exec_span.set_rows(result.len() as u64);
+        drop(exec_span);
+        Ok(AnalyzeReport {
+            total: metrics.snapshot().delta(&before),
+            elapsed_nanos: start.elapsed().as_nanos() as u64,
+            result,
+            terms,
+            stages: stages.into_stages(),
+        })
+    }
+
+    /// GROUP BY / HAVING / projection / ORDER BY / DISTINCT in the Figure
+    /// 7.1 clause order, optionally inside stage recording windows.
+    fn finish_select(
+        &self,
+        stmt: &SelectStmt,
+        mut rows: Vec<Row>,
+        stages: Option<&StageRec>,
+    ) -> Result<QueryResult> {
         let grouped = !stmt.group_by.is_empty()
             || stmt
                 .projection
                 .iter()
                 .any(|e| matches!(e, Expr::Agg { .. }));
-        let result = if grouped {
+        let mut result = if grouped {
             self.mark("GROUP BY");
-            let groups = self.group_rows(&rows, &stmt.group_by)?;
+            let groups = staged(
+                stages,
+                "GROUP BY",
+                |g: &Vec<Vec<Row>>| g.len() as u64,
+                || self.group_rows(&rows, &stmt.group_by),
+            )?;
             let groups = if let Some(h) = &stmt.having {
                 self.mark("HAVING");
-                let mut kept = Vec::new();
-                for g in groups {
-                    if self.eval_group_pred(h, &g)? {
-                        kept.push(g);
-                    }
-                }
-                kept
+                staged(
+                    stages,
+                    "HAVING",
+                    |g: &Vec<Vec<Row>>| g.len() as u64,
+                    || {
+                        let mut kept = Vec::new();
+                        for g in groups {
+                            if self.eval_group_pred(h, &g)? {
+                                kept.push(g);
+                            }
+                        }
+                        Ok(kept)
+                    },
+                )?
             } else {
                 groups
             };
             self.mark("PROJECT");
-            let columns: Vec<String> = stmt.projection.iter().map(Expr::render).collect();
-            let mut out_rows = Vec::new();
-            for g in &groups {
-                let mut out = Vec::new();
-                for p in &stmt.projection {
-                    out.push(self.eval_group_expr(p, g)?);
-                }
-                out_rows.push(out);
-            }
-            QueryResult {
-                columns,
-                rows: out_rows,
-            }
+            staged(
+                stages,
+                "PROJECT",
+                |r: &QueryResult| r.len() as u64,
+                || {
+                    let columns: Vec<String> = stmt.projection.iter().map(Expr::render).collect();
+                    let mut out_rows = Vec::new();
+                    for g in &groups {
+                        let mut out = Vec::new();
+                        for p in &stmt.projection {
+                            out.push(self.eval_group_expr(p, g)?);
+                        }
+                        out_rows.push(out);
+                    }
+                    Ok(QueryResult {
+                        columns,
+                        rows: out_rows,
+                    })
+                },
+            )?
         } else {
             // ORDER BY applies to the bound rows pre-projection.
             if !stmt.order_by.is_empty() {
                 self.mark("ORDER BY");
-                self.sort_rows(&mut rows, &stmt.order_by)?;
+                let n = rows.len() as u64;
+                staged(stages, "ORDER BY", move |_: &()| n, || {
+                    self.sort_rows(&mut rows, &stmt.order_by)
+                })?;
             }
             self.mark("PROJECT");
-            let columns: Vec<String> = stmt.projection.iter().map(Expr::render).collect();
-            let mut out_rows = Vec::new();
-            for row in &rows {
-                let mut out = Vec::new();
-                for p in &stmt.projection {
-                    out.push(self.eval_expr(p, row)?);
-                }
-                out_rows.push(out);
-            }
-            QueryResult {
-                columns,
-                rows: out_rows,
-            }
+            staged(
+                stages,
+                "PROJECT",
+                |r: &QueryResult| r.len() as u64,
+                || {
+                    let columns: Vec<String> = stmt.projection.iter().map(Expr::render).collect();
+                    let mut out_rows = Vec::new();
+                    for row in &rows {
+                        let mut out = Vec::new();
+                        for p in &stmt.projection {
+                            out.push(self.eval_expr(p, row)?);
+                        }
+                        out_rows.push(out);
+                    }
+                    Ok(QueryResult {
+                        columns,
+                        rows: out_rows,
+                    })
+                },
+            )?
         };
         // Grouped ORDER BY sorts output rows by matching columns.
-        let mut result = result;
         if grouped && !stmt.order_by.is_empty() {
             self.mark("ORDER BY");
-            let keys: Vec<usize> = stmt
-                .order_by
-                .iter()
-                .filter_map(|(p, _)| result.columns.iter().position(|c| *c == p.render()))
-                .collect();
-            let dirs: Vec<bool> = stmt.order_by.iter().map(|(_, asc)| *asc).collect();
-            result.rows.sort_by(|a, b| {
-                for (ki, &col) in keys.iter().enumerate() {
-                    let ord = a[col].compare(&b[col]).unwrap_or(std::cmp::Ordering::Equal);
-                    let ord = if dirs.get(ki).copied().unwrap_or(true) {
-                        ord
-                    } else {
-                        ord.reverse()
-                    };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
+            let n = result.len() as u64;
+            staged(stages, "ORDER BY", move |_: &()| n, || {
+                let keys: Vec<usize> = stmt
+                    .order_by
+                    .iter()
+                    .filter_map(|(p, _)| result.columns.iter().position(|c| *c == p.render()))
+                    .collect();
+                let dirs: Vec<bool> = stmt.order_by.iter().map(|(_, asc)| *asc).collect();
+                result.rows.sort_by(|a, b| {
+                    for (ki, &col) in keys.iter().enumerate() {
+                        let ord = a[col].compare(&b[col]).unwrap_or(std::cmp::Ordering::Equal);
+                        let ord = if dirs.get(ki).copied().unwrap_or(true) {
+                            ord
+                        } else {
+                            ord.reverse()
+                        };
+                        if ord != std::cmp::Ordering::Equal {
+                            return ord;
+                        }
                     }
-                }
-                std::cmp::Ordering::Equal
-            });
+                    std::cmp::Ordering::Equal
+                });
+                Ok(())
+            })?;
         }
         if stmt.distinct {
-            let mut seen = HashSet::new();
-            result.rows.retain(|r| {
-                let key: Vec<u8> = r.iter().flat_map(encode_value).collect();
-                seen.insert(key)
-            });
+            staged(stages, "DISTINCT", |n: &u64| *n, || {
+                let mut seen = HashSet::new();
+                result.rows.retain(|r| {
+                    let key: Vec<u8> = r.iter().flat_map(encode_value).collect();
+                    seen.insert(key)
+                });
+                Ok(result.rows.len() as u64)
+            })?;
         }
         Ok(result)
     }
@@ -248,28 +405,44 @@ impl<'a> Executor<'a> {
         if self.catalog.stats().class(&lowered.root.class).is_none() {
             self.catalog.collect_stats()?;
         }
-        let optimized = optimize(&lowered.spec, &self.catalog.stats(), &self.config);
+        let metrics = self.catalog.storage().metrics().clone();
+        let registry = self.catalog.storage().registry().clone();
+        let optimized = {
+            let _span = self.tracer.span("optimize", &metrics);
+            optimize(&lowered.spec, &self.catalog.stats(), &self.config)
+        };
         let mut all_rows: Vec<Row> = Vec::new();
         for term in &optimized.terms {
-            let mut temps: HashMap<String, Vec<Row>> = HashMap::new();
-            for (name, plan) in &term.plan.temps {
-                let rows = self.exec_plan(plan, lowered, &temps)?;
-                temps.insert(name.clone(), rows);
-            }
-            let rows = self.exec_plan(&term.plan.root, lowered, &temps)?;
+            // Ordinary SELECTs record per-node actuals too: the registry's
+            // per-operator lifetime totals come from every execution.
+            let rec = AnalyzeRec::new(metrics.clone());
+            let rows = self.exec_term(&term.plan, lowered, Some(&rec))?;
             all_rows.extend(rows);
+            record_operator_totals(&registry, &term.plan, &rec.into_nodes());
         }
         if optimized.terms.len() > 1 {
             self.mark("WHERE:UNION");
-            // Set semantics over variable bindings: dedupe by OID signature.
-            let mut seen = HashSet::new();
-            all_rows.retain(|row| {
-                let sig: Vec<(String, Option<Oid>)> =
-                    row.iter().map(|(k, v)| (k.clone(), v.oid)).collect();
-                seen.insert(format!("{sig:?}"))
-            });
+            dedupe_bindings(&mut all_rows);
         }
         Ok(all_rows)
+    }
+
+    /// Execute one term's plan set: temps in creation order, then the root.
+    /// Node ids follow the shared pre-order scheme over `[temps…, root]`.
+    fn exec_term(
+        &self,
+        set: &PlanSet,
+        lowered: &Lowered,
+        rec: Option<&AnalyzeRec>,
+    ) -> Result<Vec<Row>> {
+        let mut temps: HashMap<String, Vec<Row>> = HashMap::new();
+        let mut offset = 0usize;
+        for (name, plan) in &set.temps {
+            let rows = self.exec_plan_at(plan, offset, lowered, &temps, rec)?;
+            offset += plan.subtree_size();
+            temps.insert(name.clone(), rows);
+        }
+        self.exec_plan_at(&set.root, offset, lowered, &temps, rec)
     }
 
     /// Fallback for queries the optimizer's single-root model cannot
@@ -311,11 +484,47 @@ impl<'a> Executor<'a> {
     // Plan interpretation
     // ------------------------------------------------------------------
 
-    fn exec_plan(
+    /// Execute the node at pre-order id `nid`, recording rows, the
+    /// inclusive counter delta, and wall time when instrumented.
+    ///
+    /// Snapshots are taken on this (coordinating) thread: chunk-parallel
+    /// operators join their workers before returning, so the window still
+    /// covers every page they touch.
+    fn exec_plan_at(
         &self,
         plan: &Plan,
+        nid: usize,
         lowered: &Lowered,
         temps: &HashMap<String, Vec<Row>>,
+        rec: Option<&AnalyzeRec>,
+    ) -> Result<Vec<Row>> {
+        if rec.is_none() && !self.tracer.enabled() {
+            return self.exec_plan_node(plan, nid, lowered, temps, rec);
+        }
+        let metrics = self.catalog.storage().metrics();
+        let mut span = self.tracer.span(format!("op:{}", op_kind(plan)), metrics);
+        let start = Instant::now();
+        let before = rec.map(|r| r.metrics.snapshot());
+        let rows = self.exec_plan_node(plan, nid, lowered, temps, rec)?;
+        span.set_rows(rows.len() as u64);
+        if let (Some(r), Some(before)) = (rec, before) {
+            r.record(
+                nid,
+                rows.len() as u64,
+                r.metrics.snapshot().delta(&before),
+                start.elapsed().as_nanos() as u64,
+            );
+        }
+        Ok(rows)
+    }
+
+    fn exec_plan_node(
+        &self,
+        plan: &Plan,
+        nid: usize,
+        lowered: &Lowered,
+        temps: &HashMap<String, Vec<Row>>,
+        rec: Option<&AnalyzeRec>,
     ) -> Result<Vec<Row>> {
         match plan {
             Plan::Bind { class, var } => {
@@ -388,7 +597,7 @@ impl<'a> Executor<'a> {
                 Ok(rows)
             }
             Plan::Select { input, predicate } => {
-                let rows = self.exec_plan(input, lowered, temps)?;
+                let rows = self.exec_plan_at(input, nid + 1, lowered, temps, rec)?;
                 self.mark("WHERE:SELECT");
                 let text = predicate.strip_prefix("__join__ ").unwrap_or(predicate);
                 let expr = parse_expr(text)?;
@@ -400,15 +609,20 @@ impl<'a> Executor<'a> {
                 method,
                 condition,
             } => {
-                let left_rows = self.exec_plan(left, lowered, temps)?;
-                let out = self.exec_join(left_rows, right, *method, condition, lowered, temps)?;
+                let left_rows = self.exec_plan_at(left, nid + 1, lowered, temps, rec)?;
+                let right_nid = nid + 1 + left.subtree_size();
+                let out = self.exec_join(
+                    left_rows, right, right_nid, *method, condition, lowered, temps, rec,
+                )?;
                 self.mark("WHERE:JOIN");
                 Ok(out)
             }
             Plan::Union { inputs } => {
                 let mut all = Vec::new();
+                let mut kid = nid + 1;
                 for p in inputs {
-                    all.extend(self.exec_plan(p, lowered, temps)?);
+                    all.extend(self.exec_plan_at(p, kid, lowered, temps, rec)?);
+                    kid += p.subtree_size();
                 }
                 self.mark("WHERE:UNION");
                 Ok(all)
@@ -461,14 +675,23 @@ impl<'a> Executor<'a> {
     }
 
     /// Execute one implicit join following the plan's method.
+    ///
+    /// `right_nid` is the right child's pre-order id. When the right side
+    /// stays unmaterialized (a Class fetched per probe), no actuals are
+    /// recorded for it and its pages land in the join's exclusive delta;
+    /// upfront materialization (backward traversal / BJI) gets its own
+    /// recording window so the child still reports rows and pages.
+    #[allow(clippy::too_many_arguments)]
     fn exec_join(
         &self,
         left_rows: Vec<Row>,
         right: &Plan,
+        right_nid: usize,
         method: JoinMethod,
         condition: &str,
         lowered: &Lowered,
         temps: &HashMap<String, Vec<Row>>,
+        rec: Option<&AnalyzeRec>,
     ) -> Result<Vec<Row>> {
         // Condition shape: "x.attr = y.self".
         let (lhs, rhs) = condition
@@ -496,12 +719,12 @@ impl<'a> Executor<'a> {
                         )?),
                     }
                 } else {
-                    let rows = self.exec_plan(right, lowered, temps)?;
+                    let rows = self.exec_plan_at(right, right_nid, lowered, temps, rec)?;
                     RightSideImpl::Rows(key_rows_by(&rows, y_var))
                 }
             }
             other => {
-                let rows = self.exec_plan(other, lowered, temps)?;
+                let rows = self.exec_plan_at(other, right_nid, lowered, temps, rec)?;
                 RightSideImpl::Rows(key_rows_by(&rows, y_var))
             }
         };
@@ -513,6 +736,8 @@ impl<'a> Executor<'a> {
                 JoinMethod::BackwardTraversal | JoinMethod::BinaryJoinIndex,
                 RightSideImpl::Class { class, filter },
             ) => {
+                let start = Instant::now();
+                let before = rec.map(|r| r.metrics.snapshot());
                 let mut map: HashMap<Oid, Vec<Row>> = HashMap::new();
                 for (oid, value) in self.catalog.extent(&class)? {
                     let mut row = Row::new();
@@ -529,6 +754,15 @@ impl<'a> Executor<'a> {
                         }
                     }
                     map.entry(oid).or_default().push(row);
+                }
+                if let (Some(r), Some(before)) = (rec, before) {
+                    let rows: u64 = map.values().map(|v| v.len() as u64).sum();
+                    r.record(
+                        right_nid,
+                        rows,
+                        r.metrics.snapshot().delta(&before),
+                        start.elapsed().as_nanos() as u64,
+                    );
                 }
                 RightSideImpl::Rows(map)
             }
@@ -1003,6 +1237,15 @@ impl RightSideImpl {
             }
         }
     }
+}
+
+/// Set semantics over variable bindings: dedupe by OID signature.
+fn dedupe_bindings(rows: &mut Vec<Row>) {
+    let mut seen = HashSet::new();
+    rows.retain(|row| {
+        let sig: Vec<(String, Option<Oid>)> = row.iter().map(|(k, v)| (k.clone(), v.oid)).collect();
+        seen.insert(format!("{sig:?}"))
+    });
 }
 
 fn lit_value(l: &Lit) -> Value {

@@ -7,6 +7,7 @@
 //! ([`cursor`]). [`Session`] is the statement-level entry point the kernel
 //! facade (mood-core) wraps.
 
+pub mod analyze;
 pub mod ast;
 pub mod binder;
 pub mod cursor;
@@ -15,6 +16,9 @@ pub mod exec;
 pub mod parser;
 pub mod token;
 
+pub use analyze::{
+    misestimation, AnalyzeReport, NodeActual, NodeReport, StageActual, TermReport,
+};
 pub use ast::{
     CmpOp, CreateClass, Expr, FromItem, Lit, MethodDecl, PathRef, SelectStmt, Statement,
 };
@@ -50,6 +54,7 @@ pub struct Session {
     catalog: Arc<Catalog>,
     funcman: Arc<FunctionManager>,
     config: OptimizerConfig,
+    tracer: mood_trace::Tracer,
     last_trace: Vec<String>,
     /// The open explicit transaction (`BEGIN` … `COMMIT`/`ROLLBACK`), if
     /// any. Bare DML statements outside one autocommit.
@@ -62,6 +67,7 @@ impl Session {
             catalog,
             funcman,
             config: OptimizerConfig::default(),
+            tracer: mood_trace::Tracer::new(),
             last_trace: Vec::new(),
             txn: None,
         }
@@ -101,9 +107,21 @@ impl Session {
         &self.last_trace
     }
 
+    /// The session's query-lifecycle tracer. Attach subscribers (e.g.
+    /// [`mood_trace::RingBuffer`]) to observe parse/bind/optimize/execute
+    /// and per-operator spans.
+    pub fn tracer(&self) -> &mood_trace::Tracer {
+        &self.tracer
+    }
+
     /// Parse and execute one statement.
     pub fn execute(&mut self, sql: &str) -> Result<Answer> {
-        let stmt = parse(sql)?;
+        let stmt = {
+            let _span = self
+                .tracer
+                .span("parse", self.catalog.storage().metrics());
+            parse(sql)?
+        };
         self.execute_statement(&stmt)
     }
 
@@ -229,8 +247,9 @@ impl Session {
                 "transaction statements cannot be nested".into(),
             )),
             Statement::Select(s) => {
-                let ex =
-                    Executor::new(&self.catalog, &self.funcman).with_config(self.config.clone());
+                let ex = Executor::new(&self.catalog, &self.funcman)
+                    .with_config(self.config.clone())
+                    .with_tracer(self.tracer.clone());
                 let rows = ex.run_select(s)?;
                 self.last_trace = ex.trace();
                 Ok(Answer::Rows(rows))
@@ -239,6 +258,25 @@ impl Session {
                 let ex =
                     Executor::new(&self.catalog, &self.funcman).with_config(self.config.clone());
                 Ok(Answer::Plan(ex.explain(s)?))
+            }
+            Statement::ExplainAnalyze(s) => {
+                let ex = Executor::new(&self.catalog, &self.funcman)
+                    .with_config(self.config.clone())
+                    .with_tracer(self.tracer.clone());
+                let report = ex.analyze(s)?;
+                self.last_trace = ex.trace();
+                Ok(Answer::Plan(report.render()))
+            }
+            Statement::ShowMetrics => {
+                let snap = self.catalog.storage().registry().snapshot();
+                Ok(Answer::Rows(QueryResult {
+                    columns: vec!["metric".into(), "value".into()],
+                    rows: snap
+                        .rows()
+                        .into_iter()
+                        .map(|(k, v)| vec![Value::String(k), Value::String(v)])
+                        .collect(),
+                }))
             }
             Statement::CreateClass(c) => {
                 let mut builder = ClassBuilder::class(&c.name);

@@ -108,7 +108,16 @@ impl Parser {
             Some(Tok::Kw(Kw::Select)) => Ok(Statement::Select(self.select()?)),
             Some(Tok::Kw(Kw::Explain)) => {
                 self.pos += 1;
-                Ok(Statement::Explain(self.select()?))
+                if self.eat_kw(Kw::Analyze) {
+                    Ok(Statement::ExplainAnalyze(self.select()?))
+                } else {
+                    Ok(Statement::Explain(self.select()?))
+                }
+            }
+            Some(Tok::Kw(Kw::Show)) => {
+                self.pos += 1;
+                self.expect_kw(Kw::Metrics)?;
+                Ok(Statement::ShowMetrics)
             }
             Some(Tok::Kw(Kw::Create)) => self.create(),
             Some(Tok::Kw(Kw::Drop)) => self.drop(),

@@ -56,6 +56,9 @@ pub enum Kw {
     Delete,
     Update,
     Explain,
+    Analyze,
+    Show,
+    Metrics,
     Begin,
     Transaction,
     Commit,
@@ -105,6 +108,9 @@ impl Kw {
             "DELETE" => Kw::Delete,
             "UPDATE" => Kw::Update,
             "EXPLAIN" => Kw::Explain,
+            "ANALYZE" => Kw::Analyze,
+            "SHOW" => Kw::Show,
+            "METRICS" => Kw::Metrics,
             "BEGIN" => Kw::Begin,
             "TRANSACTION" => Kw::Transaction,
             "COMMIT" => Kw::Commit,

@@ -18,12 +18,14 @@
 
 pub mod atomic;
 pub mod dnf;
+pub mod estimate;
 pub mod optimizer;
 pub mod path_order;
 pub mod plan;
 
 pub use atomic::{expected_evaluations, plan_atomic_selections, AtomicPlan, AtomicPredicate};
 pub use dnf::{BoolExpr, Negate};
+pub use estimate::{estimate_plan_set, NodeEstimate};
 pub use optimizer::{
     optimize, short_var, Const, ImmSelRow, OptimizedQuery, OptimizerConfig, OtherSelRow,
     PathSelRow, PredSpec, QuerySpec, TermPlan,

@@ -258,12 +258,12 @@ impl OptimizerConfig {
 // Statistics access helpers
 // ---------------------------------------------------------------------
 
-struct StatsView<'a> {
-    stats: &'a DatabaseStats,
+pub(crate) struct StatsView<'a> {
+    pub(crate) stats: &'a DatabaseStats,
 }
 
 impl<'a> StatsView<'a> {
-    fn class_info(&self, class: &str) -> ClassInfo {
+    pub(crate) fn class_info(&self, class: &str) -> ClassInfo {
         match self.stats.class(class) {
             Some(c) => ClassInfo {
                 cardinality: c.cardinality as f64,
@@ -279,7 +279,7 @@ impl<'a> StatsView<'a> {
 
     /// The hop (fan/totref/totlinks), its target class, and hitprb for a
     /// reference attribute.
-    fn hop(&self, class: &str, attr: &str) -> Option<(PathHop, String, f64)> {
+    pub(crate) fn hop(&self, class: &str, attr: &str) -> Option<(PathHop, String, f64)> {
         let r = self.stats.reference(class, attr)?;
         let totlinks = self.stats.totlinks(class, attr)?;
         let hitprb = self.stats.hitprb(class, attr).unwrap_or(1.0);
@@ -294,7 +294,7 @@ impl<'a> StatsView<'a> {
         ))
     }
 
-    fn domain(&self, class: &str, attr: &str) -> Domain {
+    pub(crate) fn domain(&self, class: &str, attr: &str) -> Domain {
         match self.stats.attr(class, attr) {
             Some(a) => Domain {
                 dist: a.dist as f64,
@@ -309,7 +309,7 @@ impl<'a> StatsView<'a> {
         }
     }
 
-    fn index(&self, class: &str, attr: &str) -> Option<IndexParams> {
+    pub(crate) fn index(&self, class: &str, attr: &str) -> Option<IndexParams> {
         self.stats.index(class, attr).map(IndexParams::from_stats)
     }
 }

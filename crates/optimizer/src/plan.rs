@@ -80,6 +80,30 @@ impl Plan {
         }
     }
 
+    /// Child subplans in execution-relevant order (left before right).
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Partition { input, .. } => vec![input],
+            Plan::Join { left, right, .. } => vec![left, right],
+            Plan::Union { inputs } => inputs.iter().collect(),
+            Plan::Bind { .. } | Plan::Temp { .. } | Plan::IndSel { .. } => Vec::new(),
+        }
+    }
+
+    /// Total node count of this subtree (the node itself plus descendants).
+    ///
+    /// Together with a pre-order walk this defines stable node identities:
+    /// a node's first child has id `id + 1`, and each next sibling follows
+    /// at `previous sibling id + previous sibling subtree_size()`. The
+    /// estimator, the instrumented executor, and the plan renderer all walk
+    /// plans this way, so their per-node data lines up by id.
+    pub fn subtree_size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.subtree_size()).sum::<usize>()
+    }
+
     /// Number of JOIN nodes (diagnostics, tests).
     pub fn join_count(&self) -> usize {
         match self {

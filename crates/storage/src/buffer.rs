@@ -308,6 +308,7 @@ impl BufferPool {
                     frame.dirty = false;
                 }
                 st.map.remove(&key);
+                self.metrics.record_buffer_eviction();
             }
             return Ok(i);
         }

@@ -34,6 +34,7 @@ pub mod lock;
 pub mod metrics;
 pub mod oid;
 pub mod page;
+pub mod registry;
 pub mod wal;
 
 pub use btree::{BTree, BTreeStats};
@@ -48,7 +49,8 @@ pub use lock::{LockManager, LockMode, OwnerId};
 pub use metrics::{AccessKind, DiskMetrics, MetricsSnapshot, PhysicalParams};
 pub use oid::{FileId, Oid, PageId, SlotId};
 pub use page::{Page, SlottedPage, PAGE_SIZE};
-pub use wal::{FileLog, LogStore, MemLog, TxnId, Wal};
+pub use registry::{EngineMetrics, MetricsRegistry, OperatorTotals};
+pub use wal::{FileLog, LogStore, MemLog, TxnId, Wal, WalStats};
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -66,6 +68,7 @@ pub struct StorageManager {
     locks: Arc<LockManager>,
     wal: Arc<Wal>,
     metrics: DiskMetrics,
+    registry: Arc<MetricsRegistry>,
     btrees: Mutex<HashMap<FileId, Arc<BTree>>>,
     hashes: Mutex<HashMap<FileId, Arc<HashIndex>>>,
     /// Durable managers (file-backed or harness-supplied) run the full
@@ -88,11 +91,19 @@ impl StorageManager {
         let metrics = DiskMetrics::new();
         let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
         let pool = Arc::new(BufferPool::new(disk, frames, metrics.clone()));
+        let locks = Arc::new(LockManager::default());
+        let wal = Arc::new(Wal::new(Box::new(MemLog::new())));
+        let registry = Arc::new(MetricsRegistry::new(
+            metrics.clone(),
+            wal.clone(),
+            locks.clone(),
+        ));
         StorageManager {
             pool,
-            locks: Arc::new(LockManager::default()),
-            wal: Arc::new(Wal::new(Box::new(MemLog::new()))),
+            locks,
+            wal,
             metrics,
+            registry,
             btrees: Mutex::new(HashMap::new()),
             hashes: Mutex::new(HashMap::new()),
             durable: false,
@@ -124,11 +135,19 @@ impl StorageManager {
         let wal = Wal::new(log);
         wal.recover(&*disk)?;
         let pool = Arc::new(BufferPool::new_no_steal(disk, frames, metrics.clone()));
+        let locks = Arc::new(LockManager::default());
+        let wal = Arc::new(wal);
+        let registry = Arc::new(MetricsRegistry::new(
+            metrics.clone(),
+            wal.clone(),
+            locks.clone(),
+        ));
         Ok(StorageManager {
             pool,
-            locks: Arc::new(LockManager::default()),
-            wal: Arc::new(wal),
+            locks,
+            wal,
             metrics,
+            registry,
             btrees: Mutex::new(HashMap::new()),
             hashes: Mutex::new(HashMap::new()),
             durable: true,
@@ -149,6 +168,11 @@ impl StorageManager {
 
     pub fn metrics(&self) -> &DiskMetrics {
         &self.metrics
+    }
+
+    /// The engine-wide metrics registry (disk + WAL + locks + operators).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Create a new heap file on this manager.

@@ -8,6 +8,7 @@
 //! contemporaries shipped.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
@@ -49,6 +50,8 @@ pub struct LockManager {
     table: Mutex<HashMap<String, ResourceState>>,
     released: Condvar,
     timeout: Duration,
+    waits: AtomicU64,
+    wait_timeouts: AtomicU64,
 }
 
 impl LockManager {
@@ -57,7 +60,19 @@ impl LockManager {
             table: Mutex::new(HashMap::new()),
             released: Condvar::new(),
             timeout,
+            waits: AtomicU64::new(0),
+            wait_timeouts: AtomicU64::new(0),
         }
+    }
+
+    /// Number of times an acquire had to block on an incompatible holder.
+    pub fn wait_count(&self) -> u64 {
+        self.waits.load(Ordering::Relaxed)
+    }
+
+    /// Number of acquires that gave up at the deadlock timeout.
+    pub fn timeout_count(&self) -> u64 {
+        self.wait_timeouts.load(Ordering::Relaxed)
     }
 
     /// Acquire `mode` on `resource` for `owner`, blocking up to the deadlock
@@ -76,11 +91,13 @@ impl LockManager {
                 return Ok(());
             }
             state.waiters += 1;
+            self.waits.fetch_add(1, Ordering::Relaxed);
             let timed_out = self.released.wait_until(&mut table, deadline).timed_out();
             if let Some(state) = table.get_mut(resource) {
                 state.waiters -= 1;
             }
             if timed_out {
+                self.wait_timeouts.fetch_add(1, Ordering::Relaxed);
                 return Err(StorageError::LockTimeout {
                     resource: resource.to_string(),
                 });
@@ -188,6 +205,16 @@ mod tests {
         assert_eq!(lm.held(1, "b"), None);
         // Resources are free for others immediately.
         lm.acquire(2, "b", LockMode::Exclusive).unwrap();
+    }
+
+    #[test]
+    fn wait_and_timeout_counters_tick() {
+        let lm = LockManager::new(Duration::from_millis(20));
+        lm.acquire(1, "r", LockMode::Exclusive).unwrap();
+        assert_eq!(lm.wait_count(), 0);
+        assert!(lm.acquire(2, "r", LockMode::Shared).is_err());
+        assert!(lm.wait_count() >= 1);
+        assert_eq!(lm.timeout_count(), 1);
     }
 
     #[test]

@@ -151,6 +151,7 @@ struct Counters {
     writes: AtomicU64,
     buffer_hits: AtomicU64,
     buffer_misses: AtomicU64,
+    buffer_evictions: AtomicU64,
 }
 
 /// A point-in-time copy of the counters (or a delta between two points).
@@ -162,11 +163,25 @@ pub struct MetricsSnapshot {
     pub writes: u64,
     pub buffer_hits: u64,
     pub buffer_misses: u64,
+    pub buffer_evictions: u64,
 }
 
 impl MetricsSnapshot {
     pub fn total_reads(&self) -> u64 {
         self.seq_pages + self.rnd_pages + self.idx_pages
+    }
+
+    /// Component-wise sum (saturating).
+    pub fn plus(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            seq_pages: self.seq_pages.saturating_add(other.seq_pages),
+            rnd_pages: self.rnd_pages.saturating_add(other.rnd_pages),
+            idx_pages: self.idx_pages.saturating_add(other.idx_pages),
+            writes: self.writes.saturating_add(other.writes),
+            buffer_hits: self.buffer_hits.saturating_add(other.buffer_hits),
+            buffer_misses: self.buffer_misses.saturating_add(other.buffer_misses),
+            buffer_evictions: self.buffer_evictions.saturating_add(other.buffer_evictions),
+        }
     }
 
     /// Component-wise difference `self - earlier` (saturating).
@@ -178,6 +193,7 @@ impl MetricsSnapshot {
             writes: self.writes.saturating_sub(earlier.writes),
             buffer_hits: self.buffer_hits.saturating_sub(earlier.buffer_hits),
             buffer_misses: self.buffer_misses.saturating_sub(earlier.buffer_misses),
+            buffer_evictions: self.buffer_evictions.saturating_sub(earlier.buffer_evictions),
         }
     }
 }
@@ -212,6 +228,7 @@ impl DiskMetrics {
             writes: c.writes.load(Ordering::Relaxed),
             buffer_hits: c.buffer_hits.load(Ordering::Relaxed),
             buffer_misses: c.buffer_misses.load(Ordering::Relaxed),
+            buffer_evictions: c.buffer_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -236,6 +253,13 @@ impl DiskMetrics {
         self.inner.buffer_misses.fetch_add(1, Ordering::Relaxed);
         self.thread_counters()
             .buffer_misses
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_buffer_eviction(&self) {
+        self.inner.buffer_evictions.fetch_add(1, Ordering::Relaxed);
+        self.thread_counters()
+            .buffer_evictions
             .fetch_add(1, Ordering::Relaxed);
     }
 
@@ -265,6 +289,7 @@ impl DiskMetrics {
         self.inner.writes.store(0, Ordering::Relaxed);
         self.inner.buffer_hits.store(0, Ordering::Relaxed);
         self.inner.buffer_misses.store(0, Ordering::Relaxed);
+        self.inner.buffer_evictions.store(0, Ordering::Relaxed);
         self.per_thread.lock().clear();
     }
 }

@@ -1,0 +1,197 @@
+//! Process-wide engine metrics registry.
+//!
+//! One aggregation point over the counters the storage layer already keeps
+//! scattered across its components: the shared [`DiskMetrics`] page/buffer
+//! counters, the WAL's append/force/recovery counts, the lock manager's
+//! wait statistics, and per-operator execution totals reported by the query
+//! layer. `SHOW METRICS` and `Mood::engine_metrics()` render a snapshot of
+//! this registry; because [`DiskMetrics`] already attributes every access to
+//! its recording thread, the totals here are exact under parallel execution
+//! (totals are always the sum of the per-thread counts).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::lock::LockManager;
+use crate::metrics::{DiskMetrics, MetricsSnapshot};
+use crate::wal::{Wal, WalStats};
+
+/// Lifetime execution totals for one named operator (SELECT, JOIN(HJ), …).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OperatorTotals {
+    /// Times the operator ran.
+    pub invocations: u64,
+    /// Rows the operator produced, summed over invocations.
+    pub rows: u64,
+    /// Page accesses attributed to the operator (its own work, excluding
+    /// child operators), summed over invocations.
+    pub pages: u64,
+    /// Wall-clock nanoseconds attributed to the operator.
+    pub nanos: u64,
+}
+
+/// Aggregates engine-wide counters; owned by the [`StorageManager`] and
+/// shared with the query layer.
+///
+/// [`StorageManager`]: crate::StorageManager
+pub struct MetricsRegistry {
+    metrics: DiskMetrics,
+    wal: Arc<Wal>,
+    locks: Arc<LockManager>,
+    operators: Mutex<BTreeMap<String, OperatorTotals>>,
+}
+
+/// Point-in-time view of every engine counter, as rendered by
+/// `SHOW METRICS`.
+#[derive(Debug, Clone, Default)]
+pub struct EngineMetrics {
+    /// Page/buffer counters (process totals across all threads).
+    pub disk: MetricsSnapshot,
+    /// WAL appends / forces / recovered page images.
+    pub wal: WalStats,
+    /// Times a lock acquire had to block.
+    pub lock_waits: u64,
+    /// Lock acquires that gave up at the deadlock timeout.
+    pub lock_timeouts: u64,
+    /// Per-operator execution totals, sorted by operator name.
+    pub operators: Vec<(String, OperatorTotals)>,
+}
+
+impl EngineMetrics {
+    /// Buffer-pool hit ratio in `[0, 1]`; 0 when the pool is untouched.
+    pub fn buffer_hit_ratio(&self) -> f64 {
+        let total = self.disk.buffer_hits + self.disk.buffer_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.disk.buffer_hits as f64 / total as f64
+        }
+    }
+
+    /// Flatten into `(metric, value)` rows for tabular display. Stable
+    /// order: disk, buffer, wal, locks, then operators alphabetically.
+    pub fn rows(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = vec![
+            ("disk.seq_pages", self.disk.seq_pages.to_string()),
+            ("disk.rnd_pages", self.disk.rnd_pages.to_string()),
+            ("disk.idx_pages", self.disk.idx_pages.to_string()),
+            ("disk.writes", self.disk.writes.to_string()),
+            ("buffer.hits", self.disk.buffer_hits.to_string()),
+            ("buffer.misses", self.disk.buffer_misses.to_string()),
+            ("buffer.evictions", self.disk.buffer_evictions.to_string()),
+            ("buffer.hit_ratio", format!("{:.4}", self.buffer_hit_ratio())),
+            ("wal.appends", self.wal.appends.to_string()),
+            ("wal.fsyncs", self.wal.forces.to_string()),
+            ("wal.recovered_pages", self.wal.recovered.to_string()),
+            ("lock.waits", self.lock_waits.to_string()),
+            ("lock.timeouts", self.lock_timeouts.to_string()),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+        for (name, t) in &self.operators {
+            out.push((
+                format!("operator.{name}"),
+                format!(
+                    "calls={} rows={} pages={} time={:.3}ms",
+                    t.invocations,
+                    t.rows,
+                    t.pages,
+                    t.nanos as f64 / 1e6
+                ),
+            ));
+        }
+        out
+    }
+}
+
+impl MetricsRegistry {
+    pub fn new(metrics: DiskMetrics, wal: Arc<Wal>, locks: Arc<LockManager>) -> Self {
+        MetricsRegistry {
+            metrics,
+            wal,
+            locks,
+            operators: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The shared disk-metrics handle this registry reads from.
+    pub fn disk_metrics(&self) -> &DiskMetrics {
+        &self.metrics
+    }
+
+    /// Fold one operator execution into the lifetime totals.
+    pub fn record_operator(&self, name: &str, rows: u64, pages: u64, nanos: u64) {
+        let mut ops = self.operators.lock();
+        let t = ops.entry(name.to_string()).or_default();
+        t.invocations += 1;
+        t.rows += rows;
+        t.pages += pages;
+        t.nanos += nanos;
+    }
+
+    /// Snapshot every counter the registry aggregates.
+    pub fn snapshot(&self) -> EngineMetrics {
+        EngineMetrics {
+            disk: self.metrics.snapshot(),
+            wal: self.wal.stats(),
+            lock_waits: self.locks.wait_count(),
+            lock_timeouts: self.locks.timeout_count(),
+            operators: self
+                .operators
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::AccessKind;
+    use crate::wal::MemLog;
+
+    fn registry() -> MetricsRegistry {
+        MetricsRegistry::new(
+            DiskMetrics::new(),
+            Arc::new(Wal::new(Box::new(MemLog::new()))),
+            Arc::new(LockManager::default()),
+        )
+    }
+
+    #[test]
+    fn operator_totals_accumulate() {
+        let r = registry();
+        r.record_operator("SELECT", 10, 3, 1_000);
+        r.record_operator("SELECT", 5, 1, 2_000);
+        r.record_operator("JOIN(HJ)", 7, 9, 500);
+        let snap = r.snapshot();
+        let sel = &snap.operators.iter().find(|(n, _)| n == "SELECT").unwrap().1;
+        assert_eq!(sel.invocations, 2);
+        assert_eq!(sel.rows, 15);
+        assert_eq!(sel.pages, 4);
+        assert_eq!(sel.nanos, 3_000);
+        assert_eq!(snap.operators.len(), 2);
+        // BTreeMap iteration: JOIN(HJ) sorts before SELECT.
+        assert_eq!(snap.operators[0].0, "JOIN(HJ)");
+    }
+
+    #[test]
+    fn snapshot_reflects_component_counters() {
+        let r = registry();
+        r.disk_metrics().record_read(AccessKind::Random);
+        r.disk_metrics().record_buffer_hit();
+        r.disk_metrics().record_buffer_miss();
+        let snap = r.snapshot();
+        assert_eq!(snap.disk.rnd_pages, 1);
+        assert!((snap.buffer_hit_ratio() - 0.5).abs() < 1e-12);
+        let rows = snap.rows();
+        assert!(rows.iter().any(|(k, v)| k == "buffer.hit_ratio" && v == "0.5000"));
+        assert!(rows.iter().any(|(k, _)| k == "wal.appends"));
+        assert!(rows.iter().any(|(k, _)| k == "lock.waits"));
+    }
+}

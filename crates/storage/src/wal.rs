@@ -172,10 +172,24 @@ fn checksum(bytes: &[u8]) -> u32 {
 /// Transaction identifier.
 pub type TxnId = u64;
 
+/// Counter snapshot for the log, reported by `SHOW METRICS`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended (page images + commit + abort markers).
+    pub appends: u64,
+    /// Forces (fsyncs) of the log to stable storage.
+    pub forces: u64,
+    /// Page images restored by `recover` over this Wal's lifetime.
+    pub recovered: u64,
+}
+
 /// The write-ahead log.
 pub struct Wal {
     store: Box<dyn LogStore>,
     next_txn: AtomicU64,
+    appends: AtomicU64,
+    forces: AtomicU64,
+    recovered: AtomicU64,
 }
 
 impl Wal {
@@ -183,6 +197,18 @@ impl Wal {
         Wal {
             store,
             next_txn: AtomicU64::new(1),
+            appends: AtomicU64::new(0),
+            forces: AtomicU64::new(0),
+            recovered: AtomicU64::new(0),
+        }
+    }
+
+    /// Lifetime counters (appends, forces, recovered page images).
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            appends: self.appends.load(Ordering::Relaxed),
+            forces: self.forces.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
         }
     }
 
@@ -215,18 +241,22 @@ impl Wal {
         payload.extend_from_slice(&file.0.to_le_bytes());
         payload.extend_from_slice(&page.0.to_le_bytes());
         payload.extend_from_slice(&data.data[..]);
+        self.appends.fetch_add(1, Ordering::Relaxed);
         self.store
             .append(&Self::frame(KIND_PAGE_IMAGE, txn, &payload))
     }
 
     /// Commit: append the record and force the log to stable storage.
     pub fn commit(&self, txn: TxnId) -> Result<()> {
+        self.appends.fetch_add(1, Ordering::Relaxed);
         self.store.append(&Self::frame(KIND_COMMIT, txn, &[]))?;
+        self.forces.fetch_add(1, Ordering::Relaxed);
         self.store.force()
     }
 
     /// Abort: appended for log completeness; recovery ignores the txn.
     pub fn abort(&self, txn: TxnId) -> Result<()> {
+        self.appends.fetch_add(1, Ordering::Relaxed);
         self.store.append(&Self::frame(KIND_ABORT, txn, &[]))
     }
 
@@ -301,6 +331,7 @@ impl Wal {
         // (untruncated) log, or their records would merge on a later replay.
         let floor = max_txn + 1;
         self.next_txn.fetch_max(floor, Ordering::Relaxed);
+        self.recovered.fetch_add(restored as u64, Ordering::Relaxed);
         Ok(restored)
     }
 
@@ -522,6 +553,24 @@ mod tests {
         assert_eq!(snap(&disk), first, "second replay must be byte-identical");
         // New txns must not reuse ids still in the log.
         assert!(wal.begin() > 1);
+    }
+
+    #[test]
+    fn stats_count_appends_forces_and_recovered() {
+        let wal = Wal::new(Box::new(MemLog::new()));
+        let disk = MemDisk::new();
+        let f = disk.create_file().unwrap();
+        disk.allocate_page(f).unwrap();
+        let t = wal.begin();
+        wal.log_page_write(t, f, PageId(0), &page_with(1)).unwrap();
+        wal.commit(t).unwrap();
+        let t2 = wal.begin();
+        wal.abort(t2).unwrap();
+        assert_eq!(wal.recover(&disk).unwrap(), 1);
+        let s = wal.stats();
+        assert_eq!(s.appends, 3, "image + commit + abort");
+        assert_eq!(s.forces, 1, "only commit forces");
+        assert_eq!(s.recovered, 1);
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! # mood-trace — structured tracing for the MOOD query lifecycle
+//!
+//! A lightweight tracing facade: the query layer opens a [`Span`] per
+//! lifecycle phase (parse → bind → optimize → execute) and per algebra
+//! operator; each span captures a scoped [`MetricsSnapshot`] delta (page
+//! accesses attributed to the span's window), an optional actual row count,
+//! and wall-clock time. Finished spans are dispatched to pluggable
+//! [`Subscriber`]s — a [`RingBuffer`] collector for tests and programmatic
+//! inspection, a [`TextDump`] that renders a human-readable indented log
+//! for the CLI.
+//!
+//! Spans are intentionally synchronous and coordinator-side: parallel
+//! operators still run their workers freely, and because [`DiskMetrics`]
+//! totals are always the sum of the per-thread counts, a span's delta is
+//! exact no matter how the work was distributed across threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mood_storage::{DiskMetrics, MetricsSnapshot};
+use parking_lot::Mutex;
+
+/// A finished span, as delivered to subscribers.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Span name, e.g. `"parse"`, `"execute"`, `"op:SELECT"`.
+    pub name: String,
+    /// Nesting depth at the time the span was opened (0 = top level).
+    pub depth: usize,
+    /// Free-form attributes attached while the span was open.
+    pub attrs: Vec<(String, String)>,
+    /// Actual row count, when the span produced rows.
+    pub rows: Option<u64>,
+    /// Page/buffer counter delta over the span's window.
+    pub delta: MetricsSnapshot,
+    /// Wall-clock duration of the span.
+    pub elapsed: Duration,
+}
+
+/// Receives finished spans. Implementations must tolerate concurrent calls.
+pub trait Subscriber: Send + Sync {
+    fn on_span(&self, span: &SpanRecord);
+}
+
+#[derive(Default)]
+struct TracerInner {
+    subscribers: Mutex<Vec<Arc<dyn Subscriber>>>,
+    depth: AtomicUsize,
+}
+
+/// Entry point: hands out spans and fans finished ones out to subscribers.
+/// Cloning shares the subscriber list (Arc).
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Tracer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a subscriber; it sees every span finished after this call.
+    pub fn subscribe(&self, sub: Arc<dyn Subscriber>) {
+        self.inner.subscribers.lock().push(sub);
+    }
+
+    /// True when at least one subscriber is attached — callers may skip
+    /// span bookkeeping entirely when tracing is off.
+    pub fn enabled(&self) -> bool {
+        !self.inner.subscribers.lock().is_empty()
+    }
+
+    /// Open a span. The span measures the `metrics` delta and wall-clock
+    /// time from now until it is dropped (or [`Span::finish`]ed).
+    pub fn span(&self, name: impl Into<String>, metrics: &DiskMetrics) -> Span {
+        let depth = self.inner.depth.fetch_add(1, Ordering::Relaxed);
+        Span {
+            tracer: self.clone(),
+            name: name.into(),
+            depth,
+            attrs: Vec::new(),
+            rows: None,
+            metrics: metrics.clone(),
+            start_snapshot: metrics.snapshot(),
+            start: Instant::now(),
+            finished: false,
+        }
+    }
+
+    /// Run `f` inside a span named `name`, recording the result row count
+    /// via `rows(&T)`.
+    pub fn in_span<T>(
+        &self,
+        name: &str,
+        metrics: &DiskMetrics,
+        rows: impl FnOnce(&T) -> Option<u64>,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let mut span = self.span(name, metrics);
+        let out = f();
+        if let Some(n) = rows(&out) {
+            span.set_rows(n);
+        }
+        out
+    }
+
+    fn dispatch(&self, record: &SpanRecord) {
+        self.inner.depth.fetch_sub(1, Ordering::Relaxed);
+        for sub in self.inner.subscribers.lock().iter() {
+            sub.on_span(record);
+        }
+    }
+}
+
+/// An open span; finishes (and reports) when dropped.
+pub struct Span {
+    tracer: Tracer,
+    name: String,
+    depth: usize,
+    attrs: Vec<(String, String)>,
+    rows: Option<u64>,
+    metrics: DiskMetrics,
+    start_snapshot: MetricsSnapshot,
+    start: Instant,
+    finished: bool,
+}
+
+impl Span {
+    /// Attach a key/value attribute.
+    pub fn attr(&mut self, key: impl Into<String>, value: impl ToString) {
+        self.attrs.push((key.into(), value.to_string()));
+    }
+
+    /// Record the span's actual output row count.
+    pub fn set_rows(&mut self, rows: u64) {
+        self.rows = Some(rows);
+    }
+
+    /// Finish eagerly (drop would do the same).
+    pub fn finish(mut self) -> SpanRecord {
+        self.emit()
+    }
+
+    fn emit(&mut self) -> SpanRecord {
+        self.finished = true;
+        let record = SpanRecord {
+            name: std::mem::take(&mut self.name),
+            depth: self.depth,
+            attrs: std::mem::take(&mut self.attrs),
+            rows: self.rows,
+            delta: self.metrics.snapshot().delta(&self.start_snapshot),
+            elapsed: self.start.elapsed(),
+        };
+        self.tracer.dispatch(&record);
+        record
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.emit();
+        }
+    }
+}
+
+/// Bounded in-memory collector: keeps the last `capacity` spans. The test
+/// harness reads these back to assert on the query lifecycle.
+pub struct RingBuffer {
+    capacity: usize,
+    records: Mutex<std::collections::VecDeque<SpanRecord>>,
+}
+
+impl RingBuffer {
+    pub fn new(capacity: usize) -> Arc<Self> {
+        Arc::new(RingBuffer {
+            capacity: capacity.max(1),
+            records: Mutex::new(std::collections::VecDeque::new()),
+        })
+    }
+
+    /// Copy of the retained spans, oldest first.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.records.lock().iter().cloned().collect()
+    }
+
+    /// Retained spans with the given name, oldest first.
+    pub fn named(&self, name: &str) -> Vec<SpanRecord> {
+        self.records
+            .lock()
+            .iter()
+            .filter(|r| r.name == name)
+            .cloned()
+            .collect()
+    }
+
+    pub fn clear(&self) {
+        self.records.lock().clear();
+    }
+}
+
+impl Subscriber for RingBuffer {
+    fn on_span(&self, span: &SpanRecord) {
+        let mut records = self.records.lock();
+        if records.len() == self.capacity {
+            records.pop_front();
+        }
+        records.push_back(span.clone());
+    }
+}
+
+/// Renders finished spans as indented human-readable lines; the CLI's
+/// `.spans` command drains these.
+#[derive(Default)]
+pub struct TextDump {
+    lines: Mutex<Vec<String>>,
+}
+
+impl TextDump {
+    pub fn new() -> Arc<Self> {
+        Arc::new(TextDump::default())
+    }
+
+    /// Take the accumulated lines (clears the buffer).
+    pub fn drain(&self) -> Vec<String> {
+        std::mem::take(&mut self.lines.lock())
+    }
+}
+
+/// One-line rendering of a span: name, rows, page delta, elapsed time.
+pub fn render_span(r: &SpanRecord) -> String {
+    let mut line = format!("{}{}", "  ".repeat(r.depth), r.name);
+    if let Some(rows) = r.rows {
+        line.push_str(&format!(" rows={rows}"));
+    }
+    let pages = r.delta.total_reads() + r.delta.writes;
+    line.push_str(&format!(
+        " pages={pages} (seq={} rnd={} idx={} w={})",
+        r.delta.seq_pages, r.delta.rnd_pages, r.delta.idx_pages, r.delta.writes
+    ));
+    line.push_str(&format!(" time={:.3}ms", r.elapsed.as_secs_f64() * 1e3));
+    for (k, v) in &r.attrs {
+        line.push_str(&format!(" {k}={v}"));
+    }
+    line
+}
+
+impl Subscriber for TextDump {
+    fn on_span(&self, span: &SpanRecord) {
+        self.lines.lock().push(render_span(span));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mood_storage::AccessKind;
+
+    #[test]
+    fn span_captures_rows_delta_and_attrs() {
+        let tracer = Tracer::new();
+        let ring = RingBuffer::new(8);
+        tracer.subscribe(ring.clone());
+        let metrics = DiskMetrics::new();
+        {
+            let mut span = tracer.span("op:SELECT", &metrics);
+            span.attr("predicate", "cylinders = 2");
+            metrics.record_read(AccessKind::Sequential);
+            metrics.record_read(AccessKind::Random);
+            span.set_rows(4);
+        }
+        let records = ring.records();
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.name, "op:SELECT");
+        assert_eq!(r.rows, Some(4));
+        assert_eq!(r.delta.seq_pages, 1);
+        assert_eq!(r.delta.rnd_pages, 1);
+        assert_eq!(r.attrs, vec![("predicate".to_string(), "cylinders = 2".to_string())]);
+    }
+
+    #[test]
+    fn nested_spans_record_depth() {
+        let tracer = Tracer::new();
+        let ring = RingBuffer::new(8);
+        tracer.subscribe(ring.clone());
+        let metrics = DiskMetrics::new();
+        {
+            let _outer = tracer.span("execute", &metrics);
+            let _inner = tracer.span("op:BIND", &metrics);
+        }
+        let records = ring.records();
+        // Inner finishes (drops) first.
+        assert_eq!(records[0].name, "op:BIND");
+        assert_eq!(records[0].depth, 1);
+        assert_eq!(records[1].name, "execute");
+        assert_eq!(records[1].depth, 0);
+    }
+
+    #[test]
+    fn ring_buffer_keeps_last_n() {
+        let tracer = Tracer::new();
+        let ring = RingBuffer::new(2);
+        tracer.subscribe(ring.clone());
+        let metrics = DiskMetrics::new();
+        for i in 0..5 {
+            tracer.span(format!("s{i}"), &metrics);
+        }
+        let names: Vec<String> = ring.records().into_iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["s3", "s4"]);
+    }
+
+    #[test]
+    fn delta_is_scoped_to_the_span_window() {
+        let tracer = Tracer::new();
+        let ring = RingBuffer::new(8);
+        tracer.subscribe(ring.clone());
+        let metrics = DiskMetrics::new();
+        metrics.record_read(AccessKind::Random); // before: not counted
+        {
+            let _span = tracer.span("scan", &metrics);
+            metrics.record_read(AccessKind::Sequential);
+        }
+        metrics.record_read(AccessKind::Random); // after: not counted
+        let r = &ring.records()[0];
+        assert_eq!(r.delta.total_reads(), 1);
+        assert_eq!(r.delta.seq_pages, 1);
+    }
+
+    #[test]
+    fn parallel_worker_pages_land_in_the_span_delta() {
+        let tracer = Tracer::new();
+        let ring = RingBuffer::new(8);
+        tracer.subscribe(ring.clone());
+        let metrics = DiskMetrics::new();
+        {
+            let _span = tracer.span("op:SELECT", &metrics);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let m = metrics.clone();
+                    s.spawn(move || m.record_read(AccessKind::Sequential));
+                }
+            });
+        }
+        assert_eq!(ring.records()[0].delta.seq_pages, 4);
+    }
+
+    #[test]
+    fn text_dump_renders_indented_lines() {
+        let tracer = Tracer::new();
+        let dump = TextDump::new();
+        tracer.subscribe(dump.clone());
+        let metrics = DiskMetrics::new();
+        {
+            let _outer = tracer.span("execute", &metrics);
+            let mut inner = tracer.span("op:SELECT", &metrics);
+            inner.set_rows(3);
+        }
+        let lines = dump.drain();
+        assert!(lines[0].starts_with("  op:SELECT rows=3"));
+        assert!(lines[1].starts_with("execute"));
+        assert!(dump.drain().is_empty(), "drain clears");
+    }
+
+    #[test]
+    fn disabled_tracer_reports_no_subscribers() {
+        let tracer = Tracer::new();
+        assert!(!tracer.enabled());
+        tracer.subscribe(RingBuffer::new(1));
+        assert!(tracer.enabled());
+    }
+
+    #[test]
+    fn in_span_records_result_rows() {
+        let tracer = Tracer::new();
+        let ring = RingBuffer::new(4);
+        tracer.subscribe(ring.clone());
+        let metrics = DiskMetrics::new();
+        let out: Vec<u32> =
+            tracer.in_span("op:PROJECT", &metrics, |v: &Vec<u32>| Some(v.len() as u64), || {
+                vec![1, 2, 3]
+            });
+        assert_eq!(out.len(), 3);
+        assert_eq!(ring.records()[0].rows, Some(3));
+    }
+}

@@ -1,0 +1,91 @@
+//! Query-lifecycle observability: `EXPLAIN ANALYZE`, span tracing, and the
+//! engine metrics registry, on the paper's Vehicle schema (Section 3.1).
+//!
+//! ```sh
+//! cargo run -p mood-core --example query_analyze
+//! ```
+
+use mood_core::{Mood, OptimizerConfig, RingBuffer, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Mood::in_memory();
+    db.set_optimizer_config(OptimizerConfig::paper());
+
+    for ddl in [
+        "CREATE CLASS VehicleEngine TUPLE (size Integer, cylinders Integer)",
+        "CREATE CLASS VehicleDriveTrain TUPLE (engine REFERENCE (VehicleEngine), \
+         transmission String(32))",
+        "CREATE CLASS Company TUPLE (name String(32), location String(32))",
+        "CREATE CLASS Vehicle TUPLE (id Integer, weight Integer, \
+         drivetrain REFERENCE (VehicleDriveTrain), manufacturer REFERENCE (Company))",
+    ] {
+        db.execute(ddl)?;
+    }
+
+    // A deterministic population: engines cycle through 2/4/6/8 cylinders.
+    let catalog = db.catalog();
+    let bmw = catalog.new_object(
+        "Company",
+        Value::tuple(vec![
+            ("name", Value::string("BMW")),
+            ("location", Value::string("Munich")),
+        ]),
+    )?;
+    let mut trains = Vec::new();
+    for i in 0..16i32 {
+        let engine = catalog.new_object(
+            "VehicleEngine",
+            Value::tuple(vec![
+                ("size", Value::Integer(1000 + i * 100)),
+                ("cylinders", Value::Integer(2 + (i % 4) * 2)),
+            ]),
+        )?;
+        trains.push(catalog.new_object(
+            "VehicleDriveTrain",
+            Value::tuple(vec![
+                ("engine", Value::Ref(engine)),
+                (
+                    "transmission",
+                    Value::string(if i % 2 == 0 { "AUTOMATIC" } else { "MANUAL" }),
+                ),
+            ]),
+        )?);
+    }
+    for i in 0..64i32 {
+        catalog.new_object(
+            "Vehicle",
+            Value::tuple(vec![
+                ("id", Value::Integer(i)),
+                ("weight", Value::Integer(700 + (i % 15) * 80)),
+                ("drivetrain", Value::Ref(trains[i as usize % trains.len()])),
+                ("manufacturer", Value::Ref(bmw)),
+            ]),
+        )?;
+    }
+    db.collect_stats()?;
+
+    // Watch the query lifecycle: parse → bind → optimize → execute, with a
+    // span per algebra operator.
+    let spans = RingBuffer::new(64);
+    db.tracer().subscribe(spans.clone());
+
+    let query = "SELECT v.id FROM EVERY Vehicle v \
+                 WHERE v.drivetrain.engine.cylinders = 2 ORDER BY v.id";
+
+    println!("== EXPLAIN (estimates only) ==");
+    print!("{}", db.explain(query)?);
+
+    println!("\n== EXPLAIN ANALYZE (estimate vs. actual) ==");
+    print!("{}", db.explain_analyze(query)?);
+
+    println!("\n== Query-lifecycle spans ==");
+    for r in spans.records() {
+        println!("{}", mood_core::trace::render_span(&r));
+    }
+
+    println!("\n== SHOW METRICS (engine-wide registry) ==");
+    for (k, v) in db.engine_metrics().rows() {
+        println!("{k} = {v}");
+    }
+    Ok(())
+}

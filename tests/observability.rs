@@ -1,0 +1,380 @@
+//! Query-lifecycle observability: `EXPLAIN ANALYZE` estimate-vs-actual
+//! reports, the page-accounting exactness invariant, span tracing, and the
+//! engine metrics registry.
+//!
+//! The central invariant (pinned in `actual_pages_sum_exactly_to_total`):
+//! the per-operator exclusive `DiskMetrics` deltas plus the coordinator
+//! stage deltas sum **exactly** to the statement's total counter delta —
+//! at every parallelism level, because windows open and close on the
+//! coordinating thread and chunk workers join inside one node's window.
+
+use mood_core::cost::yao;
+use mood_core::sql::{parse, Executor, Statement};
+use mood_core::{Answer, Mood, OptimizerConfig, RingBuffer, Value};
+
+/// The Section 3.1 Vehicle schema with a deterministic population; a small
+/// buffer pool forces real page traffic so the accounting is non-trivial.
+fn build(pool_frames: usize) -> Mood {
+    build_sized(pool_frames, 64)
+}
+
+/// Like [`build`] with a chosen Vehicle-extent size. Vehicles cycle through
+/// 16 drivetrains whose engines cycle through 2/4/6/8 cylinders, so
+/// `cylinders = 2` always selects exactly a quarter of the extent.
+fn build_sized(pool_frames: usize, n_vehicles: i32) -> Mood {
+    let db = Mood::in_memory_with_pool(pool_frames);
+    db.set_optimizer_config(OptimizerConfig::paper());
+    for ddl in [
+        "CREATE CLASS VehicleEngine TUPLE (size Integer, cylinders Integer)",
+        "CREATE CLASS VehicleDriveTrain TUPLE (engine REFERENCE (VehicleEngine), \
+         transmission String(32))",
+        "CREATE CLASS Company TUPLE (name String(32), location String(32))",
+        "CREATE CLASS Vehicle TUPLE (id Integer, weight Integer, \
+         drivetrain REFERENCE (VehicleDriveTrain), manufacturer REFERENCE (Company))",
+    ] {
+        db.execute(ddl).unwrap();
+    }
+    let catalog = db.catalog();
+    let bmw = catalog
+        .new_object(
+            "Company",
+            Value::tuple(vec![
+                ("name", Value::string("BMW")),
+                ("location", Value::string("Munich")),
+            ]),
+        )
+        .unwrap();
+    let mut trains = Vec::new();
+    for i in 0..16i32 {
+        let engine = catalog
+            .new_object(
+                "VehicleEngine",
+                Value::tuple(vec![
+                    ("size", Value::Integer(1000 + i * 100)),
+                    ("cylinders", Value::Integer(2 + (i % 4) * 2)),
+                ]),
+            )
+            .unwrap();
+        trains.push(
+            catalog
+                .new_object(
+                    "VehicleDriveTrain",
+                    Value::tuple(vec![
+                        ("engine", Value::Ref(engine)),
+                        (
+                            "transmission",
+                            Value::string(if i % 2 == 0 { "AUTOMATIC" } else { "MANUAL" }),
+                        ),
+                    ]),
+                )
+                .unwrap(),
+        );
+    }
+    for i in 0..n_vehicles {
+        catalog
+            .new_object(
+                "Vehicle",
+                Value::tuple(vec![
+                    ("id", Value::Integer(i)),
+                    ("weight", Value::Integer(700 + (i % 15) * 80)),
+                    ("drivetrain", Value::Ref(trains[i as usize % trains.len()])),
+                    ("manufacturer", Value::Ref(bmw)),
+                ]),
+            )
+            .unwrap();
+    }
+    db.collect_stats().unwrap();
+    db
+}
+
+const PATH_QUERY: &str = "SELECT v.id FROM EVERY Vehicle v \
+     WHERE v.drivetrain.engine.cylinders = 2 ORDER BY v.id";
+
+fn select_stmt(sql: &str) -> mood_core::sql::SelectStmt {
+    match parse(sql).unwrap() {
+        Statement::Select(s) => s,
+        other => panic!("not a select: {other:?}"),
+    }
+}
+
+// ----------------------------------------------------------------------
+// EXPLAIN ANALYZE report shape (golden-ish: contains-based so estimate
+// numbers can evolve with the cost model)
+// ----------------------------------------------------------------------
+
+#[test]
+fn explain_analyze_renders_estimate_vs_actual_tree() {
+    let db = build(1024);
+    let report = db.explain_analyze(PATH_QUERY).unwrap();
+    for needle in [
+        "_TRAVERSAL(",
+        "BIND(Vehicle, v)",
+        "est: rows=",
+        "| act: rows=",
+        "rows-off=",
+        "-- stages:",
+        "PROJECT:",
+        "ORDER BY:",
+        "-- total: rows=16 pages=",
+    ] {
+        assert!(report.contains(needle), "missing {needle:?} in:\n{report}");
+    }
+    // The unmaterialized right side of a traversal join renders as fused.
+    assert!(
+        report.contains("(fused into parent)"),
+        "fused node expected:\n{report}"
+    );
+}
+
+#[test]
+fn explain_gains_per_node_estimates() {
+    let db = build(1024);
+    let plan = db.explain(PATH_QUERY).unwrap();
+    assert!(plan.contains("-- Node estimates"), "{plan}");
+    assert!(plan.contains("sel="), "{plan}");
+    assert!(plan.contains("pages="), "{plan}");
+    // The paper-notation plan text is still there, untouched.
+    assert!(plan.contains("BIND(Vehicle, v)"), "{plan}");
+}
+
+#[test]
+fn explain_analyze_through_sql_statement() {
+    let db = build(1024);
+    let Answer::Plan(report) = db.execute(&format!("EXPLAIN ANALYZE {PATH_QUERY}")).unwrap()
+    else {
+        panic!("EXPLAIN ANALYZE must return a plan")
+    };
+    assert!(report.contains("act: rows="), "{report}");
+}
+
+// ----------------------------------------------------------------------
+// The exactness invariant
+// ----------------------------------------------------------------------
+
+/// Per-operator exclusive page deltas + stage deltas == query total, for
+/// every page counter, at parallelism 1, 2, 4 and 8 — and the term root's
+/// actual row count equals the result cardinality.
+#[test]
+fn actual_pages_sum_exactly_to_total_across_parallelism() {
+    // 4-frame pool against a 1024-vehicle extent: the working set cannot
+    // stay cached, so every parallelism level does real page I/O and the
+    // invariant is tested against nonzero counters.
+    let db = build_sized(4, 1024);
+    let stmt = select_stmt(PATH_QUERY);
+    for parallelism in [1usize, 2, 4, 8] {
+        let ex = Executor::new(db.catalog(), db.funcman())
+            .with_config(OptimizerConfig::paper().with_parallelism(parallelism));
+        let report = ex.analyze(&stmt).unwrap();
+        let acc = report.accounted();
+        let total = report.total;
+        assert!(
+            total.total_reads() + total.writes > 0,
+            "tiny pool must force page traffic (parallelism {parallelism})"
+        );
+        assert_eq!(
+            (acc.seq_pages, acc.rnd_pages, acc.idx_pages, acc.writes),
+            (
+                total.seq_pages,
+                total.rnd_pages,
+                total.idx_pages,
+                total.writes
+            ),
+            "page accounting must telescope exactly at parallelism {parallelism}"
+        );
+        assert_eq!(report.result.len(), 256);
+        assert_eq!(
+            report.terms[0].root_actual_rows(),
+            Some(report.result.len() as u64),
+            "root actuals must match the cursor row count"
+        );
+    }
+}
+
+/// The same invariant across predicates of different selectivity (every
+/// cylinders constant exercises a different row volume through the tree).
+#[test]
+fn accounting_invariant_holds_for_every_predicate_constant() {
+    let db = build_sized(4, 1024);
+    for cyl in [2, 4, 6, 8, 10] {
+        let stmt = select_stmt(&format!(
+            "SELECT v.id FROM EVERY Vehicle v WHERE v.drivetrain.engine.cylinders = {cyl}"
+        ));
+        for parallelism in [1usize, 4] {
+            let ex = Executor::new(db.catalog(), db.funcman())
+                .with_config(OptimizerConfig::paper().with_parallelism(parallelism));
+            let report = ex.analyze(&stmt).unwrap();
+            let acc = report.accounted();
+            assert_eq!(
+                (acc.seq_pages, acc.rnd_pages, acc.idx_pages, acc.writes),
+                (
+                    report.total.seq_pages,
+                    report.total.rnd_pages,
+                    report.total.idx_pages,
+                    report.total.writes
+                ),
+                "cylinders={cyl} parallelism={parallelism}"
+            );
+            let expected = if cyl == 10 { 0 } else { 256 };
+            assert_eq!(report.result.len(), expected, "cylinders={cyl}");
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Estimate-vs-actual sanity on the vehicle dataset
+// ----------------------------------------------------------------------
+
+/// An indexed atomic selection touches no more data pages than the
+/// c(n,m,r)-style bound predicts: fetching `r` of `n` records spread over
+/// `m` pages costs at most `yao(n, m, r)` page reads (plus the B-tree
+/// probe), and the row estimate is close.
+#[test]
+fn indexed_selection_stays_within_yao_bound() {
+    // Large enough that the §8.1 index-count inequality picks the index
+    // over a scan for a unique-key equality.
+    let db = build_sized(64, 4096);
+    db.execute("CREATE INDEX ON Vehicle(id)").unwrap();
+    db.collect_stats().unwrap();
+    let sql = "SELECT v.weight FROM Vehicle v WHERE v.id = 777";
+    assert!(
+        db.explain(sql).unwrap().contains("INDSEL("),
+        "selection must be index-served:\n{}",
+        db.explain(sql).unwrap()
+    );
+    let stmt = select_stmt(sql);
+    let ex = Executor::new(db.catalog(), db.funcman()).with_config(OptimizerConfig::paper());
+    let report = ex.analyze(&stmt).unwrap();
+    let node = report.terms[0]
+        .nodes
+        .iter()
+        .find(|n| n.est.label.starts_with("INDSEL("))
+        .expect("INDSEL node in the report");
+    let actual = node.actual.expect("INDSEL records actuals");
+    assert_eq!(actual.rows, 1, "unique-key equality selects one vehicle");
+    // Stats for the bound: fetching r of n records spread over nbpages.
+    let stats = db.collect_stats().unwrap();
+    let vinfo = stats.class("Vehicle").unwrap();
+    let bound = yao(4096.0, vinfo.nbpages as f64, actual.rows as f64);
+    let actual_pages = node.exclusive.total_reads() + node.exclusive.writes;
+    // + btree height/leaf slack for the probe itself.
+    assert!(
+        (actual_pages as f64) <= bound.ceil() + 4.0,
+        "INDSEL touched {actual_pages} pages, yao bound {bound:.2}"
+    );
+    assert!(
+        mood_core::sql::misestimation(node.est.rows, actual.rows) <= 4.0,
+        "row estimate {} vs actual {}",
+        node.est.rows,
+        actual.rows
+    );
+}
+
+/// The chosen join strategy's measured pages stay within a small factor of
+/// the §6 model's estimate (the model is a worst-case no-buffer-hit bound,
+/// so actual ≤ factor × estimate).
+#[test]
+fn join_actual_pages_within_factor_of_estimate() {
+    let db = build(4);
+    let stmt = select_stmt(PATH_QUERY);
+    let ex = Executor::new(db.catalog(), db.funcman()).with_config(OptimizerConfig::paper());
+    let report = ex.analyze(&stmt).unwrap();
+    let term = &report.terms[0];
+    // Whole-plan: actual total pages vs the summed node estimates.
+    let est_pages: f64 = term.nodes.iter().map(|n| n.est.pages).sum();
+    let actual_pages = (report.total.total_reads() + report.total.writes) as f64;
+    assert!(est_pages > 0.0, "model must estimate page work");
+    assert!(
+        actual_pages <= est_pages * 10.0 + 16.0,
+        "actual {actual_pages} pages vs estimated {est_pages:.1}"
+    );
+    // Per-join: each join node's own (exclusive) pages against its estimate.
+    let join_methods = [
+        "FORWARD_TRAVERSAL(",
+        "BACKWARD_TRAVERSAL(",
+        "BINARY_JOIN_INDEX(",
+        "HASH_PARTITION(",
+    ];
+    for n in term
+        .nodes
+        .iter()
+        .filter(|n| join_methods.iter().any(|m| n.est.label.starts_with(m)))
+    {
+        let ex_pages = (n.exclusive.total_reads() + n.exclusive.writes) as f64;
+        assert!(
+            ex_pages <= n.est.pages * 10.0 + 16.0,
+            "{}: actual {ex_pages} vs estimated {:.1}",
+            n.est.label,
+            n.est.pages
+        );
+    }
+}
+
+// ----------------------------------------------------------------------
+// Tracing and the metrics registry
+// ----------------------------------------------------------------------
+
+#[test]
+fn spans_cover_the_query_lifecycle() {
+    let db = build(1024);
+    let ring = RingBuffer::new(64);
+    db.tracer().subscribe(ring.clone());
+    db.execute(PATH_QUERY).unwrap();
+    for name in ["parse", "bind", "optimize", "execute"] {
+        assert!(
+            !ring.named(name).is_empty(),
+            "missing {name} span: {:?}",
+            ring.records().iter().map(|r| &r.name).collect::<Vec<_>>()
+        );
+    }
+    assert!(
+        ring.records().iter().any(|r| r.name.starts_with("op:")),
+        "per-operator spans expected"
+    );
+    let exec = &ring.named("execute")[0];
+    assert_eq!(exec.rows, Some(16), "execute span carries the row count");
+}
+
+#[test]
+fn show_metrics_exposes_engine_registry() {
+    let db = build(1024);
+    db.execute(PATH_QUERY).unwrap();
+    let Answer::Rows(r) = db.execute("SHOW METRICS").unwrap() else {
+        panic!("SHOW METRICS must return rows")
+    };
+    let metrics: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
+    for key in [
+        "disk.rnd_pages",
+        "buffer.hits",
+        "wal.appends",
+        "wal.fsyncs",
+        "lock.waits",
+        "operator.BIND",
+    ] {
+        assert!(
+            metrics.iter().any(|m| m.contains(key)),
+            "missing {key} in {metrics:?}"
+        );
+    }
+}
+
+#[test]
+fn operator_totals_accumulate_across_statements() {
+    let db = build(1024);
+    db.execute(PATH_QUERY).unwrap();
+    let first = db.engine_metrics();
+    db.execute(PATH_QUERY).unwrap();
+    let second = db.engine_metrics();
+    let calls = |m: &mood_core::EngineMetrics| {
+        m.operators
+            .iter()
+            .find(|(k, _)| k == "BIND")
+            .map(|(_, t)| t.invocations)
+            .unwrap_or(0)
+    };
+    assert!(
+        calls(&second) > calls(&first),
+        "BIND totals must grow: {} then {}",
+        calls(&first),
+        calls(&second)
+    );
+}
