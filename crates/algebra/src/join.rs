@@ -12,7 +12,7 @@ use std::collections::{HashMap, HashSet};
 use mood_catalog::Catalog;
 use mood_datamodel::Value;
 use mood_storage::exec::{run_chunked, ExecutionConfig};
-use mood_storage::Oid;
+use mood_storage::{AccessHint, Oid};
 
 use crate::collection::{join_return, Collection, Kind, Obj};
 use crate::error::{AlgebraError, Result};
@@ -325,10 +325,11 @@ fn backward(
         JoinRhs::Class(class) => {
             let mut allowed = HashSet::new();
             let mut cache = HashMap::new();
-            for (oid, value) in catalog.extent(class)? {
+            catalog.extent_with(class, AccessHint::Sequential, &mut |oid, value| {
                 allowed.insert(oid);
                 cache.insert(oid, Obj::stored(oid, value));
-            }
+                true
+            })?;
             Rhs {
                 allowed: Some(allowed),
                 cache,
@@ -368,10 +369,11 @@ fn backward_par(
         JoinRhs::Class(class) => {
             let mut allowed = HashSet::new();
             let mut cache = HashMap::new();
-            for (oid, value) in catalog.extent(class)? {
+            catalog.extent_with(class, AccessHint::Sequential, &mut |oid, value| {
                 allowed.insert(oid);
                 cache.insert(oid, Obj::stored(oid, value));
-            }
+                true
+            })?;
             Rhs {
                 allowed: Some(allowed),
                 cache,
@@ -417,11 +419,14 @@ fn indexed(
 
     let right_objs: Vec<Obj> = match rhs {
         JoinRhs::Collection(c) => materialize(catalog, c)?,
-        JoinRhs::Class(c) => catalog
-            .extent(c)?
-            .into_iter()
-            .map(|(oid, v)| Obj::stored(oid, v))
-            .collect(),
+        JoinRhs::Class(c) => {
+            let mut objs = Vec::new();
+            catalog.extent_with(c, AccessHint::Sequential, &mut |oid, v| {
+                objs.push(Obj::stored(oid, v));
+                true
+            })?;
+            objs
+        }
     };
     if catalog.index(&left_class, attr).is_none() {
         return Err(AlgebraError::NotApplicable {
@@ -470,11 +475,14 @@ fn indexed_par(
 
     let right_objs: Vec<Obj> = match rhs {
         JoinRhs::Collection(c) => materialize(catalog, c)?,
-        JoinRhs::Class(c) => catalog
-            .extent(c)?
-            .into_iter()
-            .map(|(oid, v)| Obj::stored(oid, v))
-            .collect(),
+        JoinRhs::Class(c) => {
+            let mut objs = Vec::new();
+            catalog.extent_with(c, AccessHint::Sequential, &mut |oid, v| {
+                objs.push(Obj::stored(oid, v));
+                true
+            })?;
+            objs
+        }
     };
     if catalog.index(&left_class, attr).is_none() {
         return Err(AlgebraError::NotApplicable {

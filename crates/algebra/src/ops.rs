@@ -4,7 +4,7 @@
 use mood_catalog::{Catalog, TypeId};
 use mood_datamodel::Value;
 use mood_storage::exec::{run_chunked, ExecutionConfig};
-use mood_storage::Oid;
+use mood_storage::{AccessHint, Oid};
 
 use crate::collection::{Collection, Obj};
 use crate::error::{AlgebraError, Result};
@@ -96,17 +96,20 @@ pub fn bind_class(
     every: bool,
     minus: &[String],
 ) -> Result<Collection> {
-    let objects = if every {
-        catalog.extent_every(class, minus)?
-    } else {
-        catalog.extent(class)?
+    // Stream the extent straight into the collection (no intermediate
+    // (oid, value) vector); the heap scan underneath runs with the
+    // Sequential hint, so it gets readahead and scan-resistant frames.
+    let mut objs = Vec::new();
+    let mut push = |oid: Oid, v: Value| {
+        objs.push(Obj::stored(oid, v));
+        true
     };
-    Ok(Collection::Extent(
-        objects
-            .into_iter()
-            .map(|(oid, v)| Obj::stored(oid, v))
-            .collect(),
-    ))
+    if every {
+        catalog.extent_every_with(class, minus, AccessHint::Sequential, &mut push)?;
+    } else {
+        catalog.extent_with(class, AccessHint::Sequential, &mut push)?;
+    }
+    Ok(Collection::Extent(objs))
 }
 
 /// `Select(arg, P)` — keep the elements satisfying `P` (Table 1 return

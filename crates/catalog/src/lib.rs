@@ -31,7 +31,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use mood_datamodel::{decode_value, encode_key, encode_value, Resolver, TypeDescriptor, Value};
-use mood_storage::{FileId, Oid, StorageManager};
+use mood_storage::{AccessHint, FileId, Oid, StorageManager};
 
 /// Kind of a secondary index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -530,22 +530,58 @@ impl Catalog {
 
     /// Scan one class's own extent (no subclasses).
     pub fn extent(&self, class: &str) -> Result<Vec<(Oid, Value)>> {
-        let file = self.extent_file(class)?;
-        let heap = self.sm.open_heap(file);
         let mut out = Vec::new();
-        heap.scan_with(|oid, bytes| {
-            if let Ok((_, v)) = Self::decode_object(bytes) {
-                out.push((oid, v));
-            }
+        self.extent_with(class, AccessHint::Sequential, &mut |oid, v| {
+            out.push((oid, v));
             true
         })?;
         Ok(out)
+    }
+
+    /// Stream one class's own extent without materializing it — the visitor
+    /// returns `false` to stop early. `hint` selects the buffer-pool access
+    /// pattern: `Sequential` gets readahead and scan-resistant (cold) frame
+    /// placement; `Random` loads pages into the hot set, which suits small
+    /// extents consulted point-wise after the scan.
+    pub fn extent_with(
+        &self,
+        class: &str,
+        hint: AccessHint,
+        visit: &mut dyn FnMut(Oid, Value) -> bool,
+    ) -> Result<()> {
+        let file = self.extent_file(class)?;
+        let heap = self.sm.open_heap(file);
+        heap.scan_hint_with(hint, |oid, bytes| {
+            match Self::decode_object(bytes) {
+                Ok((_, v)) => visit(oid, v),
+                Err(_) => true,
+            }
+        })?;
+        Ok(())
     }
 
     /// Scan an extent including subclass extents (`FROM EVERY C`), with an
     /// optional exclusion set (`FROM EVERY C - Sub`, the paper's minus
     /// operator).
     pub fn extent_every(&self, class: &str, minus: &[String]) -> Result<Vec<(Oid, Value)>> {
+        let mut out = Vec::new();
+        self.extent_every_with(class, minus, AccessHint::Sequential, &mut |oid, v| {
+            out.push((oid, v));
+            true
+        })?;
+        Ok(out)
+    }
+
+    /// Streaming form of [`extent_every`](Self::extent_every): visits the
+    /// class's own extent, then each (non-excluded) subclass extent, in
+    /// order, without materializing a combined vector.
+    pub fn extent_every_with(
+        &self,
+        class: &str,
+        minus: &[String],
+        hint: AccessHint,
+        visit: &mut dyn FnMut(Oid, Value) -> bool,
+    ) -> Result<()> {
         let mut excluded: HashSet<String> = HashSet::new();
         for m in minus {
             excluded.insert(m.clone());
@@ -553,16 +589,23 @@ impl Catalog {
                 excluded.insert(sub);
             }
         }
-        let mut out = Vec::new();
         let mut targets = vec![class.to_string()];
         targets.extend(self.subclasses(class));
+        let mut stopped = false;
         for t in targets {
+            if stopped {
+                break;
+            }
             if excluded.contains(&t) {
                 continue;
             }
-            out.extend(self.extent(&t)?);
+            self.extent_with(&t, hint, &mut |oid, v| {
+                let more = visit(oid, v);
+                stopped = !more;
+                more
+            })?;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Count of a class's own extent.
@@ -654,9 +697,20 @@ impl Catalog {
             .insert((class.to_string(), attribute.to_string()), info.clone());
         // Build from the existing extent (and subclass extents share the
         // attribute, but each class's index covers its own extent only —
-        // matching the per-extent indexing ESM provided).
-        for (oid, value) in self.extent(class)? {
-            self.index_insert_one(&info, &value, oid)?;
+        // matching the per-extent indexing ESM provided). Streamed: the
+        // build never holds more than one object in memory.
+        let mut first_err: Option<CatalogError> = None;
+        self.extent_with(class, AccessHint::Sequential, &mut |oid, value| {
+            match self.index_insert_one(&info, &value, oid) {
+                Ok(()) => true,
+                Err(e) => {
+                    first_err = Some(e);
+                    false
+                }
+            }
+        })?;
+        if let Some(e) = first_err {
+            return Err(e);
         }
         Ok(info)
     }
@@ -782,18 +836,33 @@ impl Catalog {
             }
         }
         let tree = self.sm.open_btree(new_file);
-        // `every`: subclass instances share inherited paths.
-        for (root_oid, value) in self.extent_every(class, &[])? {
-            for terminal in self.traverse_path(&value, path)? {
-                if terminal.is_null() {
-                    continue;
+        // `every`: subclass instances share inherited paths. Streamed, one
+        // root object at a time.
+        let mut first_err: Option<CatalogError> = None;
+        self.extent_every_with(class, &[], AccessHint::Sequential, &mut |root_oid, value| {
+            let res = (|| -> Result<()> {
+                for terminal in self.traverse_path(&value, path)? {
+                    if terminal.is_null() {
+                        continue;
+                    }
+                    let key = encode_key(&terminal).map_err(|_| CatalogError::NotAtomic {
+                        class: class.to_string(),
+                        attribute: dotted.clone(),
+                    })?;
+                    tree.insert(&key, root_oid)?;
                 }
-                let key = encode_key(&terminal).map_err(|_| CatalogError::NotAtomic {
-                    class: class.to_string(),
-                    attribute: dotted.clone(),
-                })?;
-                tree.insert(&key, root_oid)?;
+                Ok(())
+            })();
+            match res {
+                Ok(()) => true,
+                Err(e) => {
+                    first_err = Some(e);
+                    false
+                }
             }
+        })?;
+        if let Some(e) = first_err {
+            return Err(e);
         }
         let _ = info;
         Ok(())

@@ -11,12 +11,33 @@ use std::collections::HashMap;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use mood_datamodel::{decode_type, encode_type, TypeDescriptor};
-use mood_storage::{FileId, HeapFile, Oid, StorageManager};
+use mood_storage::{AccessHint, FileId, HeapFile, Oid, StorageManager};
 
 use crate::error::{CatalogError, Result};
 use crate::schema::{AttributeDef, ClassDef, ClassKind, MethodSig};
 
 const NO_FILE: u32 = u32::MAX;
+
+/// Stream a metadata heap record-by-record, stopping at (and surfacing)
+/// the first decode error instead of materializing the whole file.
+fn stream_heap(
+    heap: &HeapFile,
+    mut visit: impl FnMut(Oid, &[u8]) -> Result<()>,
+) -> Result<()> {
+    let mut first_err: Option<CatalogError> = None;
+    heap.scan_hint_with(AccessHint::Random, |oid, bytes| match visit(oid, bytes) {
+        Ok(()) => true,
+        Err(e) => {
+            first_err = Some(e);
+            false
+        }
+    })
+    .map_err(CatalogError::Storage)?;
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
 
 fn put_str(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -266,24 +287,32 @@ impl CatalogStore {
     }
 
     /// Scan the catalog files and rebuild all class definitions.
+    ///
+    /// The scans stream (no intermediate record vectors) with a `Random`
+    /// hint: catalog pages load into the buffer pool's hot set, since the
+    /// symbol table keeps consulting them point-wise after bootstrap.
     pub fn load_all(&mut self) -> Result<Vec<ClassDef>> {
         self.saved.clear();
         let mut defs: HashMap<String, ClassDef> = HashMap::new();
-        for (oid, bytes) in self.types.scan().map_err(CatalogError::Storage)? {
-            let def = decode_moods_type(&bytes)?;
-            self.saved.entry(def.name.clone()).or_default().type_rec = Some(oid);
+        let saved = &mut self.saved;
+        stream_heap(&self.types, |oid, bytes| {
+            let def = decode_moods_type(bytes)?;
+            saved.entry(def.name.clone()).or_default().type_rec = Some(oid);
             defs.insert(def.name.clone(), def);
-        }
+            Ok(())
+        })?;
         let mut attrs: HashMap<String, Vec<(u32, AttributeDef, Oid)>> = HashMap::new();
-        for (oid, bytes) in self.attrs.scan().map_err(CatalogError::Storage)? {
-            let (class, pos, attr) = decode_moods_attribute(&bytes)?;
+        stream_heap(&self.attrs, |oid, bytes| {
+            let (class, pos, attr) = decode_moods_attribute(bytes)?;
             attrs.entry(class).or_default().push((pos, attr, oid));
-        }
+            Ok(())
+        })?;
         let mut funcs: HashMap<String, Vec<(u32, MethodSig, Oid)>> = HashMap::new();
-        for (oid, bytes) in self.funcs.scan().map_err(CatalogError::Storage)? {
-            let (class, pos, sig) = decode_moods_function(&bytes)?;
+        stream_heap(&self.funcs, |oid, bytes| {
+            let (class, pos, sig) = decode_moods_function(bytes)?;
             funcs.entry(class).or_default().push((pos, sig, oid));
-        }
+            Ok(())
+        })?;
         for (class, mut list) in attrs {
             list.sort_by_key(|(pos, _, _)| *pos);
             if let Some(def) = defs.get_mut(&class) {

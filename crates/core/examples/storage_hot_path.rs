@@ -1,0 +1,76 @@
+//! Drives the sharded-pool storage hot path through the public `Mood` API:
+//! a big sequential extent sweep (readahead-batched), then point queries,
+//! then `SHOW METRICS` with the pool contention counter.
+//!
+//! ```sh
+//! cargo run -q --release -p mood-core --example storage_hot_path
+//! ```
+
+use mood_core::{Answer, Mood};
+
+fn main() {
+    // 64 frames -> 4 shards of 16, readahead window 8 — and a working set
+    // several times larger, so the sweep really reads from disk.
+    let db = Mood::in_memory_with_pool(64);
+    db.execute("CREATE CLASS Part TUPLE (id Integer, weight Integer, name String)")
+        .unwrap();
+    let pad = "x".repeat(200);
+    for i in 0..4000 {
+        db.execute(&format!(
+            "new Part <{i}, {}, 'part-{i:05}-{pad}'>",
+            (i * 37) % 500
+        ))
+        .unwrap();
+    }
+    db.collect_stats().unwrap();
+
+    // Full-extent sweep: sequential access with readahead batching.
+    let before = db.metrics().snapshot();
+    db.set_parallelism(4);
+    let Answer::Rows(r) = db.execute("SELECT p.id FROM Part p WHERE p.weight > 50").unwrap() else {
+        panic!("expected rows")
+    };
+    let sweep = db.metrics().snapshot().delta(&before);
+    println!(
+        "sweep: {} rows, seq_pages={} in {} batches, rnd_pages={}",
+        r.len(),
+        sweep.seq_pages,
+        sweep.seq_batches,
+        sweep.rnd_pages
+    );
+    assert!(r.len() > 3000, "predicate keeps most parts");
+    assert!(sweep.seq_pages > 0, "extent sweep must read sequentially");
+    assert!(
+        sweep.seq_batches < sweep.seq_pages,
+        "readahead must coalesce page reads into fewer batches \
+         ({} batches for {} pages)",
+        sweep.seq_batches,
+        sweep.seq_pages
+    );
+
+    // Point query after the sweep still resolves from the buffer.
+    let before = db.metrics().snapshot();
+    let Answer::Rows(r) = db.execute("SELECT p.name FROM Part p WHERE p.id = 1234").unwrap() else {
+        panic!("expected rows")
+    };
+    assert_eq!(r.len(), 1);
+    let point = db.metrics().snapshot().delta(&before);
+    println!(
+        "point query: buffer hits={} misses={}",
+        point.buffer_hits, point.buffer_misses
+    );
+
+    let Answer::Rows(m) = db.execute("SHOW METRICS").unwrap() else {
+        panic!("SHOW METRICS must return rows")
+    };
+    let mut found_wait = false;
+    for row in &m.rows {
+        let k = row[0].to_string();
+        if k.contains("buffer.") || k.contains("disk.seq") {
+            println!("{k} = {}", row[1]);
+        }
+        found_wait |= k.contains("buffer.wait_ns");
+    }
+    assert!(found_wait, "buffer.wait_ns must be in SHOW METRICS");
+    println!("ok");
+}

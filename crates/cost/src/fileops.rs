@@ -50,6 +50,15 @@ pub fn rndcost(p: &PhysicalParams, b: f64) -> f64 {
     p.rnd_cost(b)
 }
 
+/// `SEQCOST` under a readahead window of `k` pages: the storage layer
+/// issues `⌈b/k⌉` contiguous batch reads, each paying one positioning
+/// delay, instead of the single `s + r` the classic formula assumes for a
+/// perfectly unbroken sweep. `seqcost_batched(b, k) = ⌈b/k⌉·(s + r) +
+/// b·ebt`; with `k ≥ b` it degenerates to `SEQCOST(b)`.
+pub fn seqcost_batched(p: &PhysicalParams, b: f64, k: u32) -> f64 {
+    p.seq_cost_batched(b, k)
+}
+
 /// `INDCOST(k)` — cost of fetching the OIDs for `k` random keys through a
 /// secondary B+-tree index.
 ///
@@ -105,6 +114,23 @@ mod tests {
             keysize: 8,
             unique: true,
         }
+    }
+
+    #[test]
+    fn seqcost_batched_interpolates_between_seq_and_rnd() {
+        let p = disk();
+        let b = 1_000.0;
+        // Window >= b: identical to the unbroken sweep.
+        assert!((seqcost_batched(&p, b, 1_000_000) - seqcost(&p, b)).abs() < 1e-9);
+        // Window 1: one positioning delay per page — transfer stays ebt,
+        // so it still beats RNDCOST (which pays btt per page) or ties.
+        let k1 = seqcost_batched(&p, b, 1);
+        assert!(k1 >= seqcost(&p, b));
+        assert!(k1 <= rndcost(&p, b) + 1e-9);
+        // Larger windows are monotonically cheaper.
+        assert!(seqcost_batched(&p, b, 8) < seqcost_batched(&p, b, 2));
+        // Zero pages cost nothing.
+        assert_eq!(seqcost_batched(&p, 0.0, 8), 0.0);
     }
 
     #[test]

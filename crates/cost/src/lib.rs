@@ -18,7 +18,9 @@ pub mod joincost;
 pub mod selectivity;
 
 pub use approx::{c_approx, cardenas, o_overlap, yao};
-pub use fileops::{indcost, pages_touched, rndcost, rngxcost, seqcost, IndexParams};
+pub use fileops::{
+    indcost, pages_touched, rndcost, rngxcost, seqcost, seqcost_batched, IndexParams,
+};
 pub use joincost::{
     backward_traversal_cost, best_join_method, binary_join_index_cost, forward_traversal_cost,
     forward_traversal_cost_in_memory, hash_partition_cost, hash_partition_cost_in_memory,

@@ -17,7 +17,7 @@ use mood_datamodel::{encode_value, Value};
 use mood_funcman::{FunctionManager, OperandDataType};
 use mood_optimizer::{estimate_plan_set, optimize, OptimizerConfig, Plan, PlanSet};
 use mood_storage::exec::run_chunked;
-use mood_storage::Oid;
+use mood_storage::{AccessHint, Oid};
 use mood_trace::Tracer;
 
 use crate::analyze::{
@@ -528,29 +528,33 @@ impl<'a> Executor<'a> {
     ) -> Result<Vec<Row>> {
         match plan {
             Plan::Bind { class, var } => {
-                let extent = if var == &lowered.root.var {
-                    if lowered.root.every {
-                        self.catalog.extent_every(class, &lowered.root.minus)?
-                    } else {
-                        self.catalog.extent(class)?
-                    }
-                } else {
-                    self.catalog.extent(class)?
+                // Stream the extent scan straight into rows (no
+                // intermediate (oid, value) vector).
+                let mut rows = Vec::new();
+                let mut push = |oid: Oid, value| {
+                    let mut row = Row::new();
+                    row.insert(
+                        var.clone(),
+                        BoundObj {
+                            oid: Some(oid),
+                            value,
+                        },
+                    );
+                    rows.push(row);
+                    true
                 };
-                Ok(extent
-                    .into_iter()
-                    .map(|(oid, value)| {
-                        let mut row = Row::new();
-                        row.insert(
-                            var.clone(),
-                            BoundObj {
-                                oid: Some(oid),
-                                value,
-                            },
-                        );
-                        row
-                    })
-                    .collect())
+                if var == &lowered.root.var && lowered.root.every {
+                    self.catalog.extent_every_with(
+                        class,
+                        &lowered.root.minus,
+                        AccessHint::Sequential,
+                        &mut push,
+                    )?;
+                } else {
+                    self.catalog
+                        .extent_with(class, AccessHint::Sequential, &mut push)?;
+                }
+                Ok(rows)
             }
             Plan::Temp { name } => temps
                 .get(name)
@@ -739,21 +743,32 @@ impl<'a> Executor<'a> {
                 let start = Instant::now();
                 let before = rec.map(|r| r.metrics.snapshot());
                 let mut map: HashMap<Oid, Vec<Row>> = HashMap::new();
-                for (oid, value) in self.catalog.extent(&class)? {
-                    let mut row = Row::new();
-                    row.insert(
-                        y_var.to_string(),
-                        BoundObj {
-                            oid: Some(oid),
-                            value,
-                        },
-                    );
-                    if let Some(f) = &filter {
-                        if !self.eval_pred(f, &row)? {
-                            continue;
+                let mut first_err: Option<SqlError> = None;
+                self.catalog
+                    .extent_with(&class, AccessHint::Sequential, &mut |oid, value| {
+                        let mut row = Row::new();
+                        row.insert(
+                            y_var.to_string(),
+                            BoundObj {
+                                oid: Some(oid),
+                                value,
+                            },
+                        );
+                        if let Some(f) = &filter {
+                            match self.eval_pred(f, &row) {
+                                Ok(false) => return true,
+                                Ok(true) => {}
+                                Err(e) => {
+                                    first_err = Some(e);
+                                    return false;
+                                }
+                            }
                         }
-                    }
-                    map.entry(oid).or_default().push(row);
+                        map.entry(oid).or_default().push(row);
+                        true
+                    })?;
+                if let Some(e) = first_err {
+                    return Err(e);
                 }
                 if let (Some(r), Some(before)) = (rec, before) {
                     let rows: u64 = map.values().map(|v| v.len() as u64).sum();

@@ -34,6 +34,7 @@ use mood_catalog::{Catalog, ClassBuilder, IndexKind, MethodSig};
 use mood_datamodel::Value;
 use mood_funcman::FunctionManager;
 use mood_optimizer::OptimizerConfig;
+use mood_storage::AccessHint;
 
 /// What a statement produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -374,24 +375,35 @@ impl Session {
             } => {
                 let ex =
                     Executor::new(&self.catalog, &self.funcman).with_config(self.config.clone());
-                let extent = self.catalog.extent(class)?;
+                // Stream the scan, collecting only matching OIDs; the
+                // deletes run after the scan finishes.
                 let mut doomed = Vec::new();
-                for (oid, value) in extent {
-                    let mut row = Row::new();
-                    row.insert(
-                        var.clone(),
-                        BoundObj {
-                            oid: Some(oid),
-                            value,
-                        },
-                    );
-                    let keep = match where_clause {
-                        Some(w) => ex.eval_pred(w, &row)?,
-                        None => true,
-                    };
-                    if keep {
-                        doomed.push(oid);
-                    }
+                let mut first_err: Option<SqlError> = None;
+                self.catalog
+                    .extent_with(class, AccessHint::Sequential, &mut |oid, value| {
+                        let mut row = Row::new();
+                        row.insert(
+                            var.clone(),
+                            BoundObj {
+                                oid: Some(oid),
+                                value,
+                            },
+                        );
+                        match where_clause {
+                            Some(w) => match ex.eval_pred(w, &row) {
+                                Ok(true) => doomed.push(oid),
+                                Ok(false) => {}
+                                Err(e) => {
+                                    first_err = Some(e);
+                                    return false;
+                                }
+                            },
+                            None => doomed.push(oid),
+                        }
+                        true
+                    })?;
+                if let Some(e) = first_err {
+                    return Err(e);
                 }
                 for oid in &doomed {
                     self.catalog.delete_object(*oid)?;

@@ -719,7 +719,7 @@ mod tests {
         let disk = Arc::new(MemDisk::new());
         let metrics = DiskMetrics::new();
         // Tiny pool so index descents actually hit "disk".
-        let pool = Arc::new(BufferPool::new(disk, 2, metrics.clone()));
+        let pool = Arc::new(BufferPool::new(disk, 1, metrics.clone()));
         let t = BTree::create(pool, true).unwrap();
         for i in 0..3000u32 {
             t.insert(&key(i), oid(i)).unwrap();

@@ -1,4 +1,14 @@
-//! Buffer pool with clock (second-chance) replacement.
+//! Sharded buffer pool with scan-resistant clock (second-chance) replacement
+//! and sequential readahead.
+//!
+//! The pool is split into N shards (default one per 64 frames, minimum 4,
+//! never more shards than frames); each shard owns its own frame set, page
+//! map, clock hand, mutex and condvar. Pages map to shards round-robin by
+//! page number (offset per file), so consecutive pages of one file spread
+//! across all shards — a sequential scan drives every shard instead of
+//! convoying on one lock, and a transaction that pins K consecutive pages
+//! under no-steal pins ~K/N per shard, keeping the effective exhaustion
+//! threshold at the old whole-pool capacity.
 //!
 //! Access is closure-based: `with_page` / `with_page_mut` pin the frame for
 //! the duration of the callback only, which keeps the API free of guard
@@ -11,17 +21,31 @@
 //! or index ([`AccessKind`]); the pool records a physical read only on a
 //! miss, so the [`DiskMetrics`] counters reflect real I/O with caching — the
 //! paper's worst-case cost formulas are recovered by sizing the pool small.
+//!
+//! Replacement is scan-resistant: frames loaded by sequential accesses (and
+//! by readahead) enter at the clock's *cold* position, and eviction prefers
+//! cold frames, touching hot frames' reference bits only when no cold frame
+//! is evictable. A full-extent sweep therefore recycles its own pages and
+//! cannot flush the hot set (B-tree roots, inner nodes) — the moral
+//! equivalent of midpoint insertion in an LRU chain. A cold frame promotes
+//! to hot the first time a random or index access hits it.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::disk::Disk;
 use crate::error::{Result, StorageError};
-use crate::metrics::{AccessKind, DiskMetrics};
+use crate::metrics::{AccessKind, DiskMetrics, MetricsSnapshot};
 use crate::oid::{FileId, PageId};
 use crate::page::Page;
+
+/// Largest readahead batch (pages); the effective window is also capped at
+/// half the smallest shard so prefetched pages cannot thrash tiny pools.
+const MAX_READAHEAD: usize = 8;
 
 struct Frame {
     key: Option<(FileId, PageId)>,
@@ -29,9 +53,13 @@ struct Frame {
     dirty: bool,
     pins: u32,
     referenced: bool,
-    /// True while a callback holds the page outside the pool lock; other
-    /// threads touching the same page wait on the pool condvar.
+    /// True while a callback holds the page outside the shard lock; other
+    /// threads touching the same page wait on the shard condvar.
     checked_out: bool,
+    /// Loaded by a sequential sweep (or readahead) and not yet touched by a
+    /// random/index access: evicted preferentially, so scans recycle their
+    /// own frames instead of flushing the hot set.
+    cold: bool,
 }
 
 /// A page's state captured at its first write inside a transaction (or
@@ -63,20 +91,91 @@ struct TxnTracker {
     stmt: Option<HashMap<(FileId, PageId), StmtEntry>>,
 }
 
-struct PoolState {
+/// Pool-level transaction slot. Lock order: a thread may take this mutex
+/// *while holding a shard lock* (brief, never blocking), so nothing must
+/// ever acquire a shard lock or wait on a shard condvar while holding it.
+struct TxnSlot {
+    tracker: Mutex<Option<TxnTracker>>,
+    /// Signalled when the open transaction ends (single-writer gate).
+    free: Condvar,
+}
+
+struct ShardState {
     frames: Vec<Frame>,
     map: HashMap<(FileId, PageId), usize>,
     hand: usize,
-    txn: Option<TxnTracker>,
+    /// Occupied frames currently marked cold (kept so eviction can skip
+    /// the cold-first pass when a sweep isn't running).
+    cold: usize,
+}
+
+/// Per-shard slice of the pool's accounting, mirroring the
+/// [`MetricsSnapshot`] fields the pool records. Summing all shards'
+/// snapshots componentwise reproduces exactly what the pool contributed to
+/// the shared [`DiskMetrics`].
+#[derive(Debug, Default)]
+struct ShardCounters {
+    seq_pages: AtomicU64,
+    seq_batches: AtomicU64,
+    rnd_pages: AtomicU64,
+    idx_pages: AtomicU64,
+    writes: AtomicU64,
+    buffer_hits: AtomicU64,
+    buffer_misses: AtomicU64,
+    buffer_evictions: AtomicU64,
+}
+
+impl ShardCounters {
+    fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            seq_pages: self.seq_pages.load(Ordering::Relaxed),
+            seq_batches: self.seq_batches.load(Ordering::Relaxed),
+            rnd_pages: self.rnd_pages.load(Ordering::Relaxed),
+            idx_pages: self.idx_pages.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
+            buffer_misses: self.buffer_misses.load(Ordering::Relaxed),
+            buffer_evictions: self.buffer_evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Shard {
+    state: Mutex<ShardState>,
+    returned: Condvar,
+    counters: ShardCounters,
+}
+
+impl Shard {
+    fn new(frames: usize) -> Shard {
+        Shard {
+            state: Mutex::new(ShardState {
+                frames: (0..frames)
+                    .map(|_| Frame {
+                        key: None,
+                        page: Page::new(),
+                        dirty: false,
+                        pins: 0,
+                        referenced: false,
+                        checked_out: false,
+                        cold: false,
+                    })
+                    .collect(),
+                map: HashMap::new(),
+                hand: 0,
+                cold: 0,
+            }),
+            returned: Condvar::new(),
+            counters: ShardCounters::default(),
+        }
+    }
 }
 
 /// A shared buffer pool over a [`Disk`].
 pub struct BufferPool {
     disk: Arc<dyn Disk>,
-    state: Mutex<PoolState>,
-    returned: Condvar,
-    /// Signalled when the open transaction ends (single-writer gate).
-    txn_free: Condvar,
+    shards: Vec<Shard>,
+    txn: TxnSlot,
     metrics: DiskMetrics,
     capacity: usize,
     /// No-steal discipline: pages dirtied by the open transaction are
@@ -84,6 +183,12 @@ pub struct BufferPool {
     /// Durable (file-backed) managers set this; in-memory ones don't need
     /// it — their rollback path rewrites before-images through the disk.
     no_steal: bool,
+    /// Nanoseconds threads spent blocked on shard locks and on the
+    /// `returned` condvars (pool contention; the single-writer transaction
+    /// gate is deliberate serialization and is not counted).
+    wait_ns: Arc<AtomicU64>,
+    /// Readahead window in pages; 0 disables prefetching (tiny pools).
+    readahead: u32,
 }
 
 thread_local! {
@@ -94,32 +199,37 @@ thread_local! {
 }
 
 impl BufferPool {
+    /// Shard count for a pool of `capacity` frames: one shard per 64
+    /// frames, at least 4, but never more shards than frames.
+    fn shards_for(capacity: usize) -> usize {
+        (capacity / 64).max(4).min(capacity).max(1)
+    }
+
     /// Pool with `capacity` frames over `disk`, reporting into `metrics`.
     pub fn new(disk: Arc<dyn Disk>, capacity: usize, metrics: DiskMetrics) -> Self {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
-        let frames = (0..capacity)
-            .map(|_| Frame {
-                key: None,
-                page: Page::new(),
-                dirty: false,
-                pins: 0,
-                referenced: false,
-                checked_out: false,
-            })
+        let n = Self::shards_for(capacity);
+        let base = capacity / n;
+        let extra = capacity % n;
+        let shards: Vec<Shard> = (0..n)
+            .map(|s| Shard::new(base + usize::from(s < extra)))
             .collect();
+        // Prefetching into a shard smaller than twice the window would let
+        // the readahead itself evict pages it just loaded; gate on the
+        // smallest shard and disable entirely below 2 pages.
+        let window = (base / 2).min(MAX_READAHEAD) as u32;
         BufferPool {
             disk,
-            state: Mutex::new(PoolState {
-                frames,
-                map: HashMap::new(),
-                hand: 0,
-                txn: None,
-            }),
-            returned: Condvar::new(),
-            txn_free: Condvar::new(),
+            shards,
+            txn: TxnSlot {
+                tracker: Mutex::new(None),
+                free: Condvar::new(),
+            },
             metrics,
             capacity,
             no_steal: false,
+            wait_ns: Arc::new(AtomicU64::new(0)),
+            readahead: if window < 2 { 0 } else { window },
         }
     }
 
@@ -133,6 +243,13 @@ impl BufferPool {
         pool
     }
 
+    /// Override the readahead window (0 disables prefetching). Benches use
+    /// this to compare batched and unbatched scans on one pool size.
+    pub fn with_readahead(mut self, window: u32) -> Self {
+        self.readahead = window;
+        self
+    }
+
     pub fn metrics(&self) -> &DiskMetrics {
         &self.metrics
     }
@@ -143,6 +260,95 @@ impl BufferPool {
 
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Number of shards the frames are partitioned into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Effective readahead window in pages (0 = disabled).
+    pub fn readahead_window(&self) -> u32 {
+        self.readahead
+    }
+
+    /// Total nanoseconds threads have spent blocked on shard locks or
+    /// waiting for checked-out pages to come back.
+    pub fn wait_ns(&self) -> u64 {
+        self.wait_ns.load(Ordering::Relaxed)
+    }
+
+    /// Shared handle to the wait counter (the metrics registry surfaces it
+    /// as `buffer.wait_ns`).
+    pub fn wait_counter(&self) -> Arc<AtomicU64> {
+        self.wait_ns.clone()
+    }
+
+    /// Per-shard accounting snapshots, in shard order. Componentwise sums
+    /// equal exactly what this pool recorded into its [`DiskMetrics`].
+    pub fn shard_snapshots(&self) -> Vec<MetricsSnapshot> {
+        self.shards.iter().map(|s| s.counters.snapshot()).collect()
+    }
+
+    fn shard_index(&self, key: (FileId, PageId)) -> usize {
+        // Round-robin by page number, offset per file: consecutive pages of
+        // one file land on consecutive shards (scans and no-steal pins
+        // spread evenly), while different files start at different shards.
+        let n = self.shards.len();
+        (key.1 .0 as usize + (key.0 .0 as usize).wrapping_mul(0x9E37)) % n
+    }
+
+    /// Lock a shard, charging contended acquisitions to the wait counter.
+    fn lock_shard<'a>(&self, shard: &'a Shard) -> MutexGuard<'a, ShardState> {
+        if let Some(g) = shard.state.try_lock() {
+            return g;
+        }
+        let t0 = Instant::now();
+        let g = shard.state.lock();
+        self.wait_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        g
+    }
+
+    /// Wait on a shard's `returned` condvar, charging the wait counter.
+    fn wait_returned(&self, shard: &Shard, st: &mut MutexGuard<'_, ShardState>) {
+        let t0 = Instant::now();
+        shard.returned.wait(st);
+        self.wait_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn record_read(&self, shard: &Shard, kind: AccessKind) {
+        self.metrics.record_read(kind);
+        let field = match kind {
+            AccessKind::Sequential => &shard.counters.seq_pages,
+            AccessKind::Random => &shard.counters.rnd_pages,
+            AccessKind::Index => &shard.counters.idx_pages,
+        };
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_write(&self, shard: &Shard) {
+        self.metrics.record_write();
+        shard.counters.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_hit(&self, shard: &Shard) {
+        self.metrics.record_buffer_hit();
+        shard.counters.buffer_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_miss(&self, shard: &Shard) {
+        self.metrics.record_buffer_miss();
+        shard.counters.buffer_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn record_eviction(&self, shard: &Shard) {
+        self.metrics.record_buffer_eviction();
+        shard
+            .counters
+            .buffer_evictions
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// Read access to a page.
@@ -179,21 +385,29 @@ impl BufferPool {
             !IN_CALLBACK.with(|c| c.get()),
             "buffer pool callbacks must not re-enter the pool"
         );
-        let mut st = self.state.lock();
+        let key = (file, page);
+        let shard = &self.shards[self.shard_index(key)];
+        let mut st = self.lock_shard(shard);
         let idx = loop {
-            match st.map.get(&(file, page)).copied() {
+            match st.map.get(&key).copied() {
                 Some(i) if st.frames[i].checked_out => {
                     // Another thread holds this page outside the lock; wait
                     // for it to come back, then retry the lookup (the frame
                     // cannot be evicted while pinned).
-                    self.returned.wait(&mut st);
+                    self.wait_returned(shard, &mut st);
                 }
                 Some(i) => {
-                    self.metrics.record_buffer_hit();
+                    self.record_hit(shard);
+                    // A random/index hit promotes a scan-loaded frame into
+                    // the hot set; sequential re-reads leave it cold.
+                    if kind != AccessKind::Sequential && st.frames[i].cold {
+                        st.frames[i].cold = false;
+                        st.cold -= 1;
+                    }
                     break i;
                 }
                 None => {
-                    let i = match self.evict_one(&mut st) {
+                    let i = match self.evict_one(shard, &mut st) {
                         Ok(i) => i,
                         Err(StorageError::PoolExhausted) => {
                             if st.frames.iter().any(|fr| fr.checked_out) {
@@ -202,10 +416,10 @@ impl BufferPool {
                                 // then retry the lookup (another thread may
                                 // even load this page for us in the
                                 // meantime, turning this into a hit).
-                                self.returned.wait(&mut st);
+                                self.wait_returned(shard, &mut st);
                                 continue;
                             }
-                            // Nothing will be returned: the pool is full of
+                            // Nothing will be returned: the shard is full of
                             // pages pinned by the open transaction (no-steal).
                             // Surface the error so the statement aborts and
                             // rollback frees them.
@@ -213,12 +427,16 @@ impl BufferPool {
                         }
                         Err(e) => return Err(e),
                     };
-                    self.metrics.record_buffer_miss();
-                    self.metrics.record_read(kind);
+                    self.record_miss(shard);
+                    self.record_read(shard, kind);
                     self.disk.read_page(file, page, &mut st.frames[i].page)?;
-                    st.frames[i].key = Some((file, page));
+                    st.frames[i].key = Some(key);
                     st.frames[i].dirty = false;
-                    st.map.insert((file, page), i);
+                    st.frames[i].cold = kind == AccessKind::Sequential;
+                    if st.frames[i].cold {
+                        st.cold += 1;
+                    }
+                    st.map.insert(key, i);
                     break i;
                 }
             }
@@ -228,44 +446,45 @@ impl BufferPool {
         if write {
             // First write inside a transaction (or statement): capture the
             // page's before-image so a live rollback can restore it — the
-            // redo-only WAL cannot.
-            let PoolState { frames, txn, .. } = &mut *st;
-            if let Some(tr) = txn.as_mut() {
-                let key = (file, page);
+            // redo-only WAL cannot. The txn mutex nests briefly inside the
+            // shard lock (see TxnSlot's lock-order note).
+            let mut slot = self.txn.tracker.lock();
+            if let Some(tr) = slot.as_mut() {
                 let fresh = !tr.undo.contains_key(&key);
                 if fresh {
                     tr.undo.insert(
                         key,
                         UndoEntry {
-                            before: frames[idx].page.clone(),
-                            was_dirty: frames[idx].dirty,
+                            before: st.frames[idx].page.clone(),
+                            was_dirty: st.frames[idx].dirty,
                         },
                     );
                 }
                 if let Some(stmt) = tr.stmt.as_mut() {
                     stmt.entry(key).or_insert_with(|| StmtEntry {
-                        before: frames[idx].page.clone(),
-                        was_dirty: frames[idx].dirty,
+                        before: st.frames[idx].page.clone(),
+                        was_dirty: st.frames[idx].dirty,
                         fresh_in_txn: fresh,
                     });
                 }
             }
+            drop(slot);
             st.frames[idx].dirty = true;
         }
         st.frames[idx].checked_out = true;
         // Temporarily move the page out so the callback runs without the
-        // pool lock; `checked_out` makes same-page accessors wait above.
+        // shard lock; `checked_out` makes same-page accessors wait above.
         let mut owned = std::mem::take(&mut st.frames[idx].page);
         drop(st);
         IN_CALLBACK.with(|c| c.set(true));
         let result = f(&mut owned);
         IN_CALLBACK.with(|c| c.set(false));
-        let mut st = self.state.lock();
+        let mut st = self.lock_shard(shard);
         st.frames[idx].page = owned;
         st.frames[idx].pins -= 1;
         st.frames[idx].checked_out = false;
         drop(st);
-        self.returned.notify_all();
+        shard.returned.notify_all();
         Ok(result)
     }
 
@@ -280,85 +499,229 @@ impl BufferPool {
         Ok((pid, r))
     }
 
-    fn evict_one(&self, st: &mut PoolState) -> Result<usize> {
-        // Clock sweep: at most two full passes (first clears reference bits).
-        for _ in 0..(2 * st.frames.len() + 1) {
-            let i = st.hand;
-            st.hand = (st.hand + 1) % st.frames.len();
-            // No-steal: pages dirtied by the open transaction are pinned —
-            // flushing them would put uncommitted bytes on disk that a
-            // redo-only log could never undo after a crash.
-            let txn_pinned = self.no_steal
-                && match (&st.txn, st.frames[i].key) {
-                    (Some(tr), Some(key)) => tr.undo.contains_key(&key),
-                    _ => false,
-                };
-            let frame = &mut st.frames[i];
-            if frame.pins > 0 || txn_pinned {
-                continue;
+    /// Prefetch up to `max` pages of `file` starting at `start`, reading
+    /// each maximal run of non-resident pages as **one** contiguous disk
+    /// batch (recorded via `record_sequential_batch`). Prefetched frames
+    /// enter the pool cold and unpinned; pages that race in through another
+    /// thread, or that find their shard exhausted, are simply dropped —
+    /// readahead is best-effort. Returns the number of pages installed.
+    pub fn prefetch_sequential(&self, file: FileId, start: PageId, max: u32) -> Result<u32> {
+        let window = self.readahead.min(max);
+        if window == 0 {
+            return Ok(0);
+        }
+        let total = match self.disk.page_count(file) {
+            Ok(n) => n,
+            Err(_) => return Ok(0),
+        };
+        if start.0 >= total {
+            return Ok(0);
+        }
+        let end = total.min(start.0.saturating_add(window));
+        let mut missing: Vec<PageId> = Vec::new();
+        for p in start.0..end {
+            let pid = PageId(p);
+            let shard = &self.shards[self.shard_index((file, pid))];
+            let resident = self.lock_shard(shard).map.contains_key(&(file, pid));
+            if !resident {
+                missing.push(pid);
             }
-            if frame.referenced {
-                frame.referenced = false;
-                continue;
+        }
+        let mut installed = 0u32;
+        let mut run_start = 0usize;
+        while run_start < missing.len() {
+            let mut run_end = run_start + 1;
+            while run_end < missing.len() && missing[run_end].0 == missing[run_end - 1].0 + 1 {
+                run_end += 1;
             }
-            if let Some(key) = frame.key.take() {
-                if frame.dirty {
-                    self.metrics.record_write();
-                    self.disk.write_page(key.0, key.1, &frame.page)?;
-                    frame.dirty = false;
+            let first = missing[run_start];
+            let len = run_end - run_start;
+            let mut bufs = vec![Page::new(); len];
+            self.disk.read_pages(file, first, &mut bufs)?;
+            // Process totals: len sequential pages, one batch. Shard slices:
+            // each page counts against its own shard; the batch itself is
+            // attributed to the first page's shard — both sums telescope.
+            self.metrics.record_sequential_batch(len as u64);
+            self.shards[self.shard_index((file, first))]
+                .counters
+                .seq_batches
+                .fetch_add(1, Ordering::Relaxed);
+            for (k, buf) in bufs.into_iter().enumerate() {
+                let pid = PageId(first.0 + k as u32);
+                let pkey = (file, pid);
+                let shard = &self.shards[self.shard_index(pkey)];
+                shard.counters.seq_pages.fetch_add(1, Ordering::Relaxed);
+                let mut st = self.lock_shard(shard);
+                if st.map.contains_key(&pkey) {
+                    continue;
                 }
-                st.map.remove(&key);
-                self.metrics.record_buffer_eviction();
+                let i = match self.evict_one(shard, &mut st) {
+                    Ok(i) => i,
+                    Err(StorageError::PoolExhausted) => continue,
+                    Err(e) => return Err(e),
+                };
+                st.frames[i].page = buf;
+                st.frames[i].key = Some(pkey);
+                st.frames[i].dirty = false;
+                st.frames[i].referenced = true;
+                st.frames[i].cold = true;
+                st.cold += 1;
+                st.map.insert(pkey, i);
+                installed += 1;
             }
+            run_start = run_end;
+        }
+        Ok(installed)
+    }
+
+    /// Keys the open transaction has pinned (no-steal only). Taken fresh
+    /// under the txn mutex; safe to use for a whole sweep while the shard
+    /// lock is held, since dirtying a page of that shard needs its lock.
+    fn txn_pinned_keys(&self) -> Option<HashSet<(FileId, PageId)>> {
+        if !self.no_steal {
+            return None;
+        }
+        self.txn
+            .tracker
+            .lock()
+            .as_ref()
+            .map(|tr| tr.undo.keys().copied().collect())
+    }
+
+    fn is_txn_pinned(&self, key: (FileId, PageId)) -> bool {
+        if !self.no_steal {
+            return false;
+        }
+        self.txn
+            .tracker
+            .lock()
+            .as_ref()
+            .is_some_and(|tr| tr.undo.contains_key(&key))
+    }
+
+    fn evict_one(&self, shard: &Shard, st: &mut ShardState) -> Result<usize> {
+        let pinned = self.txn_pinned_keys();
+        // Cold-first pass: free frames and scan-loaded (cold) frames only.
+        // Hot frames' reference bits are untouched here, which is what
+        // keeps a full-extent sweep from aging the hot set out.
+        if let Some(i) = self.sweep(shard, st, &pinned, true)? {
+            return Ok(i);
+        }
+        // Classic two-pass clock over everything (first pass clears bits).
+        if let Some(i) = self.sweep(shard, st, &pinned, false)? {
             return Ok(i);
         }
         Err(StorageError::PoolExhausted)
+    }
+
+    fn sweep(
+        &self,
+        shard: &Shard,
+        st: &mut ShardState,
+        pinned: &Option<HashSet<(FileId, PageId)>>,
+        cold_only: bool,
+    ) -> Result<Option<usize>> {
+        for _ in 0..(2 * st.frames.len() + 1) {
+            let i = st.hand;
+            st.hand = (st.hand + 1) % st.frames.len();
+            if cold_only && st.frames[i].key.is_some() && !st.frames[i].cold {
+                continue;
+            }
+            // No-steal: pages dirtied by the open transaction are pinned —
+            // flushing them would put uncommitted bytes on disk that a
+            // redo-only log could never undo after a crash.
+            let txn_pinned = match (pinned, st.frames[i].key) {
+                (Some(set), Some(key)) => set.contains(&key),
+                _ => false,
+            };
+            if st.frames[i].pins > 0 || st.frames[i].checked_out || txn_pinned {
+                continue;
+            }
+            if st.frames[i].referenced {
+                st.frames[i].referenced = false;
+                continue;
+            }
+            if st.frames[i].cold {
+                st.frames[i].cold = false;
+                st.cold -= 1;
+            }
+            if let Some(key) = st.frames[i].key.take() {
+                if st.frames[i].dirty {
+                    self.record_write(shard);
+                    self.disk.write_page(key.0, key.1, &st.frames[i].page)?;
+                    st.frames[i].dirty = false;
+                }
+                st.map.remove(&key);
+                self.record_eviction(shard);
+            }
+            return Ok(Some(i));
+        }
+        Ok(None)
     }
 
     /// Write all dirty frames back to disk (without dropping them). Under
     /// no-steal, pages dirtied by the open transaction are skipped — they
     /// reach disk only after their commit record is durable.
     pub fn flush_all(&self) -> Result<()> {
-        let mut st = self.state.lock();
-        let PoolState { frames, txn, .. } = &mut *st;
-        for frame in frames.iter_mut() {
-            if let (Some(key), true) = (frame.key, frame.dirty) {
-                if self.no_steal {
-                    if let Some(tr) = txn.as_ref() {
-                        if tr.undo.contains_key(&key) {
-                            continue;
-                        }
-                    }
+        for shard in &self.shards {
+            let mut st = self.lock_shard(shard);
+            for i in 0..st.frames.len() {
+                // A checked-out frame's page lives with the callback; wait
+                // it out rather than flushing the blank placeholder.
+                while st.frames[i].checked_out {
+                    self.wait_returned(shard, &mut st);
                 }
-                self.metrics.record_write();
-                self.disk.write_page(key.0, key.1, &frame.page)?;
-                frame.dirty = false;
+                if let (Some(key), true) = (st.frames[i].key, st.frames[i].dirty) {
+                    if self.is_txn_pinned(key) {
+                        continue;
+                    }
+                    self.record_write(shard);
+                    self.disk.write_page(key.0, key.1, &st.frames[i].page)?;
+                    st.frames[i].dirty = false;
+                }
             }
         }
-        drop(st);
         self.disk.sync()
     }
 
     /// Evict all frames belonging to `file`, writing dirty ones back first.
     /// Used when a file handle is retired; the data stays on disk.
     pub fn discard_file(&self, file: FileId) {
-        let mut st = self.state.lock();
-        let keys: Vec<_> = st.map.keys().filter(|(f, _)| *f == file).copied().collect();
-        for key in keys {
-            if let Some(i) = st.map.remove(&key) {
-                if st.frames[i].dirty {
-                    self.metrics.record_write();
-                    // Best-effort write-back; a failing disk loses the frame.
-                    let _ = self.disk.write_page(key.0, key.1, &st.frames[i].page);
+        for shard in &self.shards {
+            let mut st = self.lock_shard(shard);
+            let keys: Vec<_> = st.map.keys().filter(|(f, _)| *f == file).copied().collect();
+            for key in keys {
+                loop {
+                    match st.map.get(&key).copied() {
+                        Some(i) if st.frames[i].checked_out => {
+                            self.wait_returned(shard, &mut st);
+                        }
+                        Some(i) => {
+                            if st.frames[i].dirty {
+                                self.record_write(shard);
+                                // Best-effort write-back; a failing disk
+                                // loses the frame.
+                                let _ = self.disk.write_page(key.0, key.1, &st.frames[i].page);
+                            }
+                            st.map.remove(&key);
+                            st.frames[i].key = None;
+                            st.frames[i].dirty = false;
+                            st.frames[i].referenced = false;
+                            if st.frames[i].cold {
+                                st.frames[i].cold = false;
+                                st.cold -= 1;
+                            }
+                            break;
+                        }
+                        None => break,
+                    }
                 }
-                st.frames[i].key = None;
-                st.frames[i].dirty = false;
-                st.frames[i].referenced = false;
             }
         }
         // File drops are not transactional (DDL autocommits): stop tracking
         // its pages so commit/rollback don't resurrect a dropped file.
-        if let Some(tr) = st.txn.as_mut() {
+        let mut slot = self.txn.tracker.lock();
+        if let Some(tr) = slot.as_mut() {
             tr.undo.retain(|(f, _), _| *f != file);
             if let Some(stmt) = tr.stmt.as_mut() {
                 stmt.retain(|(f, _), _| *f != file);
@@ -368,7 +731,34 @@ impl BufferPool {
 
     /// Number of frames currently caching pages (for tests).
     pub fn resident(&self) -> usize {
-        self.state.lock().map.len()
+        self.shards.iter().map(|s| s.state.lock().map.len()).sum()
+    }
+
+    /// Is `page` of `file` currently cached? (test/bench introspection)
+    pub fn is_resident(&self, file: FileId, page: PageId) -> bool {
+        let key = (file, page);
+        self.shards[self.shard_index(key)]
+            .state
+            .lock()
+            .map
+            .contains_key(&key)
+    }
+
+    /// How many frames — across *all* shards — currently hold `page` of
+    /// `file`. Sharding must keep this at most 1; the stress tests assert
+    /// it.
+    pub fn frames_holding(&self, file: FileId, page: PageId) -> usize {
+        let key = (file, page);
+        self.shards
+            .iter()
+            .map(|s| {
+                let st = s.state.lock();
+                st.frames
+                    .iter()
+                    .filter(|fr| fr.key == Some(key))
+                    .count()
+            })
+            .sum()
     }
 
     // ------------------------------------------------------------------
@@ -382,11 +772,11 @@ impl BufferPool {
     /// [`txn_rollback`](Self::txn_rollback), every page write captures a
     /// before-image, and under no-steal the dirtied pages are pinned.
     pub fn txn_begin(&self) {
-        let mut st = self.state.lock();
-        while st.txn.is_some() {
-            self.txn_free.wait(&mut st);
+        let mut slot = self.txn.tracker.lock();
+        while slot.is_some() {
+            self.txn.free.wait(&mut slot);
         }
-        st.txn = Some(TxnTracker {
+        *slot = Some(TxnTracker {
             undo: HashMap::new(),
             stmt: None,
         });
@@ -394,33 +784,50 @@ impl BufferPool {
 
     /// Is a transaction currently open?
     pub fn txn_active(&self) -> bool {
-        self.state.lock().txn.is_some()
+        self.txn.tracker.lock().is_some()
     }
 
     /// Current images of every page the open transaction dirtied, in
     /// deterministic (file, page) order — what the committer logs as
     /// after-images. Pages of files dropped mid-transaction are skipped.
     pub fn txn_dirty_pages(&self) -> Result<Vec<(FileId, PageId, Page)>> {
-        let st = self.state.lock();
-        let tr = match st.txn.as_ref() {
-            Some(t) => t,
-            None => return Ok(Vec::new()),
+        let keys = {
+            let slot = self.txn.tracker.lock();
+            match slot.as_ref() {
+                Some(tr) => {
+                    let mut keys: Vec<_> = tr.undo.keys().copied().collect();
+                    keys.sort();
+                    keys
+                }
+                None => return Ok(Vec::new()),
+            }
         };
-        let mut keys: Vec<_> = tr.undo.keys().copied().collect();
-        keys.sort();
         let mut out = Vec::with_capacity(keys.len());
         for key in keys {
-            if let Some(&i) = st.map.get(&key) {
-                out.push((key.0, key.1, st.frames[i].page.clone()));
-            } else {
-                // Evicted (steal mode only). The disk holds the latest
-                // image; read it back for the log.
-                let mut p = Page::new();
-                match self.disk.read_page(key.0, key.1, &mut p) {
-                    Ok(()) => out.push((key.0, key.1, p)),
-                    Err(StorageError::UnknownFile(_))
-                    | Err(StorageError::PageOutOfRange { .. }) => {}
-                    Err(e) => return Err(e),
+            let shard = &self.shards[self.shard_index(key)];
+            let mut st = self.lock_shard(shard);
+            let resident = loop {
+                match st.map.get(&key).copied() {
+                    Some(i) if st.frames[i].checked_out => {
+                        self.wait_returned(shard, &mut st);
+                    }
+                    Some(i) => break Some(st.frames[i].page.clone()),
+                    None => break None,
+                }
+            };
+            drop(st);
+            match resident {
+                Some(page) => out.push((key.0, key.1, page)),
+                None => {
+                    // Evicted (steal mode only). The disk holds the latest
+                    // image; read it back for the log.
+                    let mut p = Page::new();
+                    match self.disk.read_page(key.0, key.1, &mut p) {
+                        Ok(()) => out.push((key.0, key.1, p)),
+                        Err(StorageError::UnknownFile(_))
+                        | Err(StorageError::PageOutOfRange { .. }) => {}
+                        Err(e) => return Err(e),
+                    }
                 }
             }
         }
@@ -431,9 +838,11 @@ impl BufferPool {
     /// images and unpin the pages (they flush through normal eviction or
     /// checkpoints from here on).
     pub fn txn_end(&self) {
-        self.state.lock().txn = None;
-        self.txn_free.notify_all();
-        self.returned.notify_all();
+        *self.txn.tracker.lock() = None;
+        self.txn.free.notify_all();
+        for shard in &self.shards {
+            shard.returned.notify_all();
+        }
     }
 
     /// Roll the open transaction back: restore every captured before-image
@@ -441,7 +850,7 @@ impl BufferPool {
     /// pages. Restoration keeps going past per-page errors (dropped files)
     /// and reports the first real one.
     pub fn txn_rollback(&self) -> Result<bool> {
-        let tracker = self.state.lock().txn.take();
+        let tracker = self.txn.tracker.lock().take();
         let tr = match tracker {
             Some(t) => t,
             None => return Ok(false),
@@ -455,8 +864,10 @@ impl BufferPool {
                 first_err.get_or_insert(err);
             }
         }
-        self.txn_free.notify_all();
-        self.returned.notify_all();
+        self.txn.free.notify_all();
+        for shard in &self.shards {
+            shard.returned.notify_all();
+        }
         match first_err {
             Some(e) => Err(e),
             None => Ok(had_writes),
@@ -467,14 +878,14 @@ impl BufferPool {
     /// No-op without an open transaction (autocommit wraps the statement
     /// in its own transaction instead).
     pub fn stmt_begin(&self) {
-        if let Some(tr) = self.state.lock().txn.as_mut() {
+        if let Some(tr) = self.txn.tracker.lock().as_mut() {
             tr.stmt = Some(HashMap::new());
         }
     }
 
     /// Release the statement savepoint (the statement succeeded).
     pub fn stmt_end(&self) {
-        if let Some(tr) = self.state.lock().txn.as_mut() {
+        if let Some(tr) = self.txn.tracker.lock().as_mut() {
             tr.stmt = None;
         }
     }
@@ -483,8 +894,8 @@ impl BufferPool {
     /// statements of the transaction intact.
     pub fn stmt_rollback(&self) -> Result<()> {
         let entries: Vec<((FileId, PageId), StmtEntry)> = {
-            let mut st = self.state.lock();
-            let tr = match st.txn.as_mut() {
+            let mut slot = self.txn.tracker.lock();
+            let tr = match slot.as_mut() {
                 Some(t) => t,
                 None => return Ok(()),
             };
@@ -520,11 +931,12 @@ impl BufferPool {
     /// (steal mode can have flushed-and-evicted the uncommitted version).
     /// Vanished files/pages (dropped mid-transaction) are ignored.
     fn restore_page(&self, key: (FileId, PageId), before: Page, was_dirty: bool) -> Result<()> {
-        let mut st = self.state.lock();
+        let shard = &self.shards[self.shard_index(key)];
+        let mut st = self.lock_shard(shard);
         loop {
             match st.map.get(&key).copied() {
                 Some(i) if st.frames[i].checked_out => {
-                    self.returned.wait(&mut st);
+                    self.wait_returned(shard, &mut st);
                 }
                 Some(i) => {
                     st.frames[i].page = before;
@@ -536,7 +948,7 @@ impl BufferPool {
                     return Ok(());
                 }
                 None => {
-                    self.metrics.record_write();
+                    self.record_write(shard);
                     return match self.disk.write_page(key.0, key.1, &before) {
                         Ok(()) => Ok(()),
                         Err(StorageError::UnknownFile(_))
@@ -773,5 +1185,205 @@ mod tests {
         let _ = pool.with_page(f, pid, AccessKind::Random, |_| {
             let _ = pool_ref.with_page(f, pid, AccessKind::Random, |_| {});
         });
+    }
+
+    // ---------------- sharding, scan resistance, readahead ----------------
+
+    #[test]
+    fn shard_sizing_follows_capacity() {
+        // min 4 shards, 1 per 64 frames, never more shards than frames.
+        for (cap, shards) in [(1, 1), (2, 2), (4, 4), (16, 4), (64, 4), (256, 4), (1024, 16)] {
+            let disk = Arc::new(MemDisk::new());
+            let p = BufferPool::new(disk, cap, DiskMetrics::new());
+            assert_eq!(p.shard_count(), shards, "capacity {cap}");
+        }
+    }
+
+    #[test]
+    fn consecutive_pages_spread_across_shards() {
+        let disk = Arc::new(MemDisk::new());
+        let pool = BufferPool::new(disk.clone(), 64, DiskMetrics::new());
+        let f = disk.create_file().unwrap();
+        let n = pool.shard_count();
+        let hit: HashSet<usize> = (0..n as u32)
+            .map(|p| pool.shard_index((f, PageId(p))))
+            .collect();
+        assert_eq!(hit.len(), n, "N consecutive pages cover all N shards");
+    }
+
+    #[test]
+    fn shard_counters_sum_to_pool_totals() {
+        let (pool, f) = pool(8);
+        let mut pids = Vec::new();
+        for i in 0..32u8 {
+            let (pid, _) = pool.new_page(f, |p| p.data[0] = i).unwrap();
+            pids.push(pid);
+        }
+        for pid in &pids {
+            pool.with_page(f, *pid, AccessKind::Sequential, |_| {})
+                .unwrap();
+        }
+        pool.flush_all().unwrap();
+        let total = pool.metrics().snapshot();
+        let sum = pool
+            .shard_snapshots()
+            .into_iter()
+            .fold(MetricsSnapshot::default(), |acc, s| acc.plus(&s));
+        assert_eq!(sum, total, "per-shard slices must telescope exactly");
+    }
+
+    #[test]
+    fn sequential_sweep_does_not_evict_hot_pages() {
+        // 8 frames = 4 shards x 2. Pin a hot page per shard by random
+        // accesses, then sweep a file far larger than the pool: the sweep
+        // must recycle its own (cold) frames and leave the hot set alone.
+        let disk = Arc::new(MemDisk::new());
+        let pool = BufferPool::new(disk.clone(), 8, DiskMetrics::new());
+        let hot_file = disk.create_file().unwrap();
+        let mut hot = Vec::new();
+        for i in 0..4u8 {
+            let (pid, _) = pool.new_page(hot_file, |p| p.data[0] = i).unwrap();
+            hot.push(pid);
+        }
+        let scan_file = disk.create_file().unwrap();
+        for _ in 0..64 {
+            disk.allocate_page(scan_file).unwrap();
+        }
+        // Touch the hot pages with random accesses (hot class).
+        for pid in &hot {
+            pool.with_page(hot_file, *pid, AccessKind::Random, |_| {})
+                .unwrap();
+        }
+        let before = pool.metrics().snapshot();
+        for p in 0..64u32 {
+            pool.with_page(scan_file, PageId(p), AccessKind::Sequential, |_| {})
+                .unwrap();
+        }
+        let d = pool.metrics().snapshot().delta(&before);
+        for pid in &hot {
+            assert!(
+                pool.is_resident(hot_file, *pid),
+                "hot page {pid:?} evicted by a sequential sweep"
+            );
+        }
+        // And re-touching the hot set afterwards costs no I/O.
+        for pid in &hot {
+            pool.with_page(hot_file, *pid, AccessKind::Random, |_| {})
+                .unwrap();
+        }
+        let d2 = pool.metrics().snapshot().delta(&before);
+        assert_eq!(
+            d2.rnd_pages, d.rnd_pages,
+            "hot pages must still be hits after the sweep"
+        );
+    }
+
+    #[test]
+    fn random_hit_promotes_cold_frame() {
+        // Load a page sequentially (cold), promote it with a random hit,
+        // then sweep: the promoted page must survive. 8 frames = 4 shards
+        // x 2, so each shard can hold one hot page plus the sweep's frame.
+        let disk = Arc::new(MemDisk::new());
+        let pool = BufferPool::new(disk.clone(), 8, DiskMetrics::new());
+        let f = disk.create_file().unwrap();
+        for _ in 0..16 {
+            disk.allocate_page(f).unwrap();
+        }
+        pool.with_page(f, PageId(0), AccessKind::Sequential, |_| {})
+            .unwrap();
+        pool.with_page(f, PageId(0), AccessKind::Random, |_| {})
+            .unwrap(); // promote
+        let shard0 = pool.shard_index((f, PageId(0)));
+        // Sweep the pages that share page 0's shard (stride = shard count).
+        let n = pool.shard_count() as u32;
+        for p in (0..16u32).filter(|p| pool.shard_index((f, PageId(*p))) == shard0 && *p != 0) {
+            pool.with_page(f, PageId(p), AccessKind::Sequential, |_| {})
+                .unwrap();
+        }
+        assert!(n >= 1);
+        assert!(
+            pool.is_resident(f, PageId(0)),
+            "promoted page evicted by later sweep"
+        );
+    }
+
+    #[test]
+    fn prefetch_batches_sequential_reads() {
+        let disk = Arc::new(MemDisk::new());
+        let pool = BufferPool::new(disk.clone(), 64, DiskMetrics::new());
+        let f = disk.create_file().unwrap();
+        for _ in 0..16 {
+            disk.allocate_page(f).unwrap();
+        }
+        assert!(pool.readahead_window() >= 2);
+        let before = pool.metrics().snapshot();
+        let got = pool.prefetch_sequential(f, PageId(0), 8).unwrap();
+        assert_eq!(got, pool.readahead_window().min(8));
+        let d = pool.metrics().snapshot().delta(&before);
+        assert_eq!(d.seq_pages, got as u64);
+        assert_eq!(d.seq_batches, 1, "one contiguous run, one batch");
+        assert_eq!(d.buffer_misses, 0, "prefetch records no misses");
+        // The prefetched pages are now hits.
+        pool.with_page(f, PageId(0), AccessKind::Sequential, |_| {})
+            .unwrap();
+        let d2 = pool.metrics().snapshot().delta(&before);
+        assert_eq!(d2.buffer_hits, 1);
+        assert_eq!(d2.seq_pages, d.seq_pages, "no second physical read");
+    }
+
+    #[test]
+    fn prefetch_skips_resident_pages_and_splits_runs() {
+        let disk = Arc::new(MemDisk::new());
+        let pool = BufferPool::new(disk.clone(), 64, DiskMetrics::new());
+        let f = disk.create_file().unwrap();
+        for _ in 0..16 {
+            disk.allocate_page(f).unwrap();
+        }
+        // Make page 2 resident: the window [0, 8) splits into two runs.
+        pool.with_page(f, PageId(2), AccessKind::Random, |_| {})
+            .unwrap();
+        let before = pool.metrics().snapshot();
+        let got = pool.prefetch_sequential(f, PageId(0), 8).unwrap();
+        let d = pool.metrics().snapshot().delta(&before);
+        assert_eq!(got as u64, d.seq_pages);
+        assert_eq!(d.seq_batches, 2, "resident page splits the run in two");
+        assert_eq!(pool.frames_holding(f, PageId(2)), 1, "no double frame");
+    }
+
+    #[test]
+    fn tiny_pools_disable_readahead() {
+        let disk = Arc::new(MemDisk::new());
+        let pool = BufferPool::new(disk.clone(), 4, DiskMetrics::new());
+        assert_eq!(pool.readahead_window(), 0);
+        let f = disk.create_file().unwrap();
+        disk.allocate_page(f).unwrap();
+        assert_eq!(pool.prefetch_sequential(f, PageId(0), 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn wait_counter_visible_under_contention() {
+        let disk = Arc::new(MemDisk::new());
+        let pool = Arc::new(BufferPool::new(disk.clone(), 4, DiskMetrics::new()));
+        let f = disk.create_file().unwrap();
+        let (pid, _) = pool.new_page(f, |_| {}).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let pool = pool.clone();
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        pool.with_page(f, pid, AccessKind::Random, |_| {
+                            // Hold the checkout long enough that peers must
+                            // block on the returned condvar (single-core
+                            // boxes otherwise rarely overlap).
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        // Four threads hammering one page must have waited on the checkout
+        // protocol at least once.
+        assert!(pool.wait_ns() > 0, "contention must register wait time");
     }
 }

@@ -30,6 +30,16 @@ pub trait Disk: Send + Sync {
     fn allocate_page(&self, file: FileId) -> Result<PageId>;
     /// Read a page into `buf`.
     fn read_page(&self, file: FileId, page: PageId, buf: &mut Page) -> Result<()>;
+    /// Read `bufs.len()` contiguous pages starting at `start` — the
+    /// readahead entry point. The default loops [`Disk::read_page`] (so
+    /// wrappers like the fault injector keep ticking per page); real
+    /// devices override it with one positioned bulk read.
+    fn read_pages(&self, file: FileId, start: PageId, bufs: &mut [Page]) -> Result<()> {
+        for (i, buf) in bufs.iter_mut().enumerate() {
+            self.read_page(file, PageId(start.0 + i as u32), buf)?;
+        }
+        Ok(())
+    }
     /// Write a page.
     fn write_page(&self, file: FileId, page: PageId, data: &Page) -> Result<()>;
     /// Flush everything to stable storage.
@@ -100,6 +110,24 @@ impl Disk for MemDisk {
                 pages: pages.len() as u32,
             })?;
         buf.data.copy_from_slice(&p.data[..]);
+        Ok(())
+    }
+
+    fn read_pages(&self, file: FileId, start: PageId, bufs: &mut [Page]) -> Result<()> {
+        // One lock acquisition for the whole batch.
+        let st = self.state.lock();
+        let pages = st.get(&file).ok_or(StorageError::UnknownFile(file))?;
+        for (i, buf) in bufs.iter_mut().enumerate() {
+            let pid = PageId(start.0 + i as u32);
+            let p = pages
+                .get(pid.0 as usize)
+                .ok_or(StorageError::PageOutOfRange {
+                    file,
+                    page: pid,
+                    pages: pages.len() as u32,
+                })?;
+            buf.data.copy_from_slice(&p.data[..]);
+        }
         Ok(())
     }
 
@@ -218,6 +246,34 @@ impl Disk for FileDisk {
         }
         f.seek(SeekFrom::Start(page.0 as u64 * PAGE_SIZE as u64))?;
         f.read_exact(&mut buf.data[..])?;
+        Ok(())
+    }
+
+    fn read_pages(&self, file: FileId, start: PageId, bufs: &mut [Page]) -> Result<()> {
+        if bufs.is_empty() {
+            return Ok(());
+        }
+        let mut handles = self.handles.lock();
+        let f = handles
+            .get_mut(&file)
+            .ok_or(StorageError::UnknownFile(file))?;
+        let pages = (f.metadata()?.len() / PAGE_SIZE as u64) as u32;
+        let last = start.0 as u64 + bufs.len() as u64 - 1;
+        if last >= pages as u64 {
+            return Err(StorageError::PageOutOfRange {
+                file,
+                page: PageId(last as u32),
+                pages,
+            });
+        }
+        // One seek, one contiguous read of the whole batch.
+        let mut raw = vec![0u8; bufs.len() * PAGE_SIZE];
+        f.seek(SeekFrom::Start(start.0 as u64 * PAGE_SIZE as u64))?;
+        f.read_exact(&mut raw)?;
+        for (i, buf) in bufs.iter_mut().enumerate() {
+            buf.data
+                .copy_from_slice(&raw[i * PAGE_SIZE..(i + 1) * PAGE_SIZE]);
+        }
         Ok(())
     }
 

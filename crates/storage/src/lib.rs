@@ -46,7 +46,7 @@ pub use fault::{Fault, FaultPlan, FaultyLog};
 pub use hash::HashIndex;
 pub use heap::HeapFile;
 pub use lock::{LockManager, LockMode, OwnerId};
-pub use metrics::{AccessKind, DiskMetrics, MetricsSnapshot, PhysicalParams};
+pub use metrics::{AccessHint, AccessKind, DiskMetrics, MetricsSnapshot, PhysicalParams};
 pub use oid::{FileId, Oid, PageId, SlotId};
 pub use page::{Page, SlottedPage, PAGE_SIZE};
 pub use registry::{EngineMetrics, MetricsRegistry, OperatorTotals};
@@ -97,6 +97,7 @@ impl StorageManager {
             metrics.clone(),
             wal.clone(),
             locks.clone(),
+            pool.wait_counter(),
         ));
         StorageManager {
             pool,
@@ -141,6 +142,7 @@ impl StorageManager {
             metrics.clone(),
             wal.clone(),
             locks.clone(),
+            pool.wait_counter(),
         ));
         Ok(StorageManager {
             pool,

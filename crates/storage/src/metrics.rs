@@ -97,12 +97,26 @@ impl PhysicalParams {
         pages.max(0.0) * self.random_page()
     }
 
+    /// SEQCOST with readahead batching: `b` pages fetched in contiguous
+    /// batches of (at most) `k` pay one seek + latency per *batch* instead
+    /// of per page-run — `ceil(b/k) * (s + r) + b * ebt`.
+    pub fn seq_cost_batched(&self, pages: f64, batch: u32) -> f64 {
+        if pages <= 0.0 {
+            return 0.0;
+        }
+        let k = batch.max(1) as f64;
+        (pages / k).ceil() * (self.seek + self.rot) + pages * self.ebt
+    }
+
     /// Modelled time for a recorded access pattern.
     pub fn time(&self, snapshot: &MetricsSnapshot) -> f64 {
-        // Each sequential *run* pays one seek + latency; individual pages in
-        // the run pay `ebt`. Random pages pay the full `s + r + btt`.
+        // Each sequential *batch* pays one seek + latency; individual pages
+        // in the batch pay `ebt`. Accesses recorded before readahead
+        // batching existed have `seq_batches == 0` and count as one run.
+        // Random pages pay the full `s + r + btt`.
         let seq = if snapshot.seq_pages > 0 {
-            self.seek + self.rot + snapshot.seq_pages as f64 * self.ebt
+            let runs = snapshot.seq_batches.max(1) as f64;
+            runs * (self.seek + self.rot) + snapshot.seq_pages as f64 * self.ebt
         } else {
             0.0
         };
@@ -129,6 +143,32 @@ pub enum AccessKind {
     Index,
 }
 
+/// How a caller intends to walk a collection — chosen at the scan entry
+/// points (extent binds, nested-loop rebinds) and threaded down to the
+/// heap/buffer layer, where it selects the [`AccessKind`] recorded per page
+/// and decides whether readahead and cold (scan-resistant) frame insertion
+/// apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessHint {
+    /// A front-to-back sweep: pages are classified [`AccessKind::Sequential`],
+    /// prefetched in contiguous batches, and cached at the clock's cold
+    /// position so the sweep cannot flush the hot set.
+    Sequential,
+    /// Unordered or selective access: pages are classified
+    /// [`AccessKind::Random`], no readahead, normal (hot) caching.
+    Random,
+}
+
+impl AccessHint {
+    /// The [`AccessKind`] recorded for pages read under this hint.
+    pub fn kind(self) -> AccessKind {
+        match self {
+            AccessHint::Sequential => AccessKind::Sequential,
+            AccessHint::Random => AccessKind::Random,
+        }
+    }
+}
+
 /// Shared counters. Cloning shares the underlying counters (Arc).
 ///
 /// Besides the process-wide totals, every access is also attributed to the
@@ -146,6 +186,7 @@ pub struct DiskMetrics {
 #[derive(Debug, Default)]
 struct Counters {
     seq_pages: AtomicU64,
+    seq_batches: AtomicU64,
     rnd_pages: AtomicU64,
     idx_pages: AtomicU64,
     writes: AtomicU64,
@@ -158,6 +199,9 @@ struct Counters {
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     pub seq_pages: u64,
+    /// Contiguous readahead batches issued (each covering several
+    /// `seq_pages` with a single seek); 0 when scans ran unbatched.
+    pub seq_batches: u64,
     pub rnd_pages: u64,
     pub idx_pages: u64,
     pub writes: u64,
@@ -175,6 +219,7 @@ impl MetricsSnapshot {
     pub fn plus(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
             seq_pages: self.seq_pages.saturating_add(other.seq_pages),
+            seq_batches: self.seq_batches.saturating_add(other.seq_batches),
             rnd_pages: self.rnd_pages.saturating_add(other.rnd_pages),
             idx_pages: self.idx_pages.saturating_add(other.idx_pages),
             writes: self.writes.saturating_add(other.writes),
@@ -188,6 +233,7 @@ impl MetricsSnapshot {
     pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
         MetricsSnapshot {
             seq_pages: self.seq_pages.saturating_sub(earlier.seq_pages),
+            seq_batches: self.seq_batches.saturating_sub(earlier.seq_batches),
             rnd_pages: self.rnd_pages.saturating_sub(earlier.rnd_pages),
             idx_pages: self.idx_pages.saturating_sub(earlier.idx_pages),
             writes: self.writes.saturating_sub(earlier.writes),
@@ -223,6 +269,7 @@ impl DiskMetrics {
     fn snapshot_of(c: &Counters) -> MetricsSnapshot {
         MetricsSnapshot {
             seq_pages: c.seq_pages.load(Ordering::Relaxed),
+            seq_batches: c.seq_batches.load(Ordering::Relaxed),
             rnd_pages: c.rnd_pages.load(Ordering::Relaxed),
             idx_pages: c.idx_pages.load(Ordering::Relaxed),
             writes: c.writes.load(Ordering::Relaxed),
@@ -235,6 +282,17 @@ impl DiskMetrics {
     pub fn record_read(&self, kind: AccessKind) {
         Self::bump_read(&self.inner, kind);
         Self::bump_read(&self.thread_counters(), kind);
+    }
+
+    /// One contiguous readahead batch of `pages` sequential pages: counts
+    /// the pages as sequential reads and the batch itself once — the cost
+    /// model charges one seek + latency per batch, not per page run.
+    pub fn record_sequential_batch(&self, pages: u64) {
+        self.inner.seq_pages.fetch_add(pages, Ordering::Relaxed);
+        self.inner.seq_batches.fetch_add(1, Ordering::Relaxed);
+        let tc = self.thread_counters();
+        tc.seq_pages.fetch_add(pages, Ordering::Relaxed);
+        tc.seq_batches.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn record_write(&self) {
@@ -284,6 +342,7 @@ impl DiskMetrics {
 
     pub fn reset(&self) {
         self.inner.seq_pages.store(0, Ordering::Relaxed);
+        self.inner.seq_batches.store(0, Ordering::Relaxed);
         self.inner.rnd_pages.store(0, Ordering::Relaxed);
         self.inner.idx_pages.store(0, Ordering::Relaxed);
         self.inner.writes.store(0, Ordering::Relaxed);

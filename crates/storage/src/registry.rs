@@ -10,6 +10,7 @@
 //! (totals are always the sum of the per-thread counts).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -40,6 +41,9 @@ pub struct MetricsRegistry {
     metrics: DiskMetrics,
     wal: Arc<Wal>,
     locks: Arc<LockManager>,
+    /// The buffer pool's contention counter (nanoseconds blocked on shard
+    /// locks / checked-out pages) — shared with the pool that bumps it.
+    buffer_wait_ns: Arc<AtomicU64>,
     operators: Mutex<BTreeMap<String, OperatorTotals>>,
 }
 
@@ -51,6 +55,9 @@ pub struct EngineMetrics {
     pub disk: MetricsSnapshot,
     /// WAL appends / forces / recovered page images.
     pub wal: WalStats,
+    /// Nanoseconds threads spent blocked on buffer-pool shard locks and
+    /// condvars (pool contention, not transaction serialization).
+    pub buffer_wait_ns: u64,
     /// Times a lock acquire had to block.
     pub lock_waits: u64,
     /// Lock acquires that gave up at the deadlock timeout.
@@ -82,6 +89,7 @@ impl EngineMetrics {
             ("buffer.misses", self.disk.buffer_misses.to_string()),
             ("buffer.evictions", self.disk.buffer_evictions.to_string()),
             ("buffer.hit_ratio", format!("{:.4}", self.buffer_hit_ratio())),
+            ("buffer.wait_ns", self.buffer_wait_ns.to_string()),
             ("wal.appends", self.wal.appends.to_string()),
             ("wal.fsyncs", self.wal.forces.to_string()),
             ("wal.recovered_pages", self.wal.recovered.to_string()),
@@ -108,11 +116,17 @@ impl EngineMetrics {
 }
 
 impl MetricsRegistry {
-    pub fn new(metrics: DiskMetrics, wal: Arc<Wal>, locks: Arc<LockManager>) -> Self {
+    pub fn new(
+        metrics: DiskMetrics,
+        wal: Arc<Wal>,
+        locks: Arc<LockManager>,
+        buffer_wait_ns: Arc<AtomicU64>,
+    ) -> Self {
         MetricsRegistry {
             metrics,
             wal,
             locks,
+            buffer_wait_ns,
             operators: Mutex::new(BTreeMap::new()),
         }
     }
@@ -137,6 +151,7 @@ impl MetricsRegistry {
         EngineMetrics {
             disk: self.metrics.snapshot(),
             wal: self.wal.stats(),
+            buffer_wait_ns: self.buffer_wait_ns.load(Ordering::Relaxed),
             lock_waits: self.locks.wait_count(),
             lock_timeouts: self.locks.timeout_count(),
             operators: self
@@ -160,6 +175,7 @@ mod tests {
             DiskMetrics::new(),
             Arc::new(Wal::new(Box::new(MemLog::new()))),
             Arc::new(LockManager::default()),
+            Arc::new(AtomicU64::new(0)),
         )
     }
 
@@ -191,6 +207,7 @@ mod tests {
         assert!((snap.buffer_hit_ratio() - 0.5).abs() < 1e-12);
         let rows = snap.rows();
         assert!(rows.iter().any(|(k, v)| k == "buffer.hit_ratio" && v == "0.5000"));
+        assert!(rows.iter().any(|(k, _)| k == "buffer.wait_ns"));
         assert!(rows.iter().any(|(k, _)| k == "wal.appends"));
         assert!(rows.iter().any(|(k, _)| k == "lock.waits"));
     }

@@ -345,6 +345,7 @@ fn show_metrics_exposes_engine_registry() {
     for key in [
         "disk.rnd_pages",
         "buffer.hits",
+        "buffer.wait_ns",
         "wal.appends",
         "wal.fsyncs",
         "lock.waits",
