@@ -17,6 +17,15 @@
 //! page, so nesting never occurs in practice; a debug re-entrancy check
 //! enforces it).
 //!
+//! Disk *reads* run outside the shard lock through the same checkout
+//! protocol: a miss (and every readahead page) first publishes its frame in
+//! the shard map marked `checked_out`, then reads with the lock dropped.
+//! The reservation makes concurrent same-page accessors wait on the shard
+//! condvar and keeps eviction away from the frame, so no other thread can
+//! load, dirty and write back the page while the read is in flight — the
+//! read can never install a stale image over a newer committed one.
+//! Eviction write-backs of dirty victims still happen under the shard lock.
+//!
 //! Every *logical* access is classified by the caller as sequential, random
 //! or index ([`AccessKind`]); the pool records a physical read only on a
 //! miss, so the [`DiskMetrics`] counters reflect real I/O with caching — the
@@ -30,7 +39,7 @@
 //! equivalent of midpoint insertion in an LRU chain. A cold frame promotes
 //! to hot the first time a random or index access hits it.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -104,8 +113,8 @@ struct ShardState {
     frames: Vec<Frame>,
     map: HashMap<(FileId, PageId), usize>,
     hand: usize,
-    /// Occupied frames currently marked cold (kept so eviction can skip
-    /// the cold-first pass when a sweep isn't running).
+    /// Occupied frames currently marked cold; `evict_one` skips the
+    /// cold-first pass when a fully occupied shard has none.
     cold: usize,
 }
 
@@ -429,14 +438,35 @@ impl BufferPool {
                     };
                     self.record_miss(shard);
                     self.record_read(shard, kind);
-                    self.disk.read_page(file, page, &mut st.frames[i].page)?;
+                    // Reserve the frame and publish it before reading: the
+                    // map entry plus `checked_out` makes same-page accessors
+                    // wait on the condvar and keeps eviction off the frame,
+                    // so the read itself runs without the shard lock.
                     st.frames[i].key = Some(key);
                     st.frames[i].dirty = false;
+                    st.frames[i].referenced = true;
+                    st.frames[i].checked_out = true;
+                    st.map.insert(key, i);
+                    let mut buf = std::mem::take(&mut st.frames[i].page);
+                    drop(st);
+                    let read = self.disk.read_page(file, page, &mut buf);
+                    st = self.lock_shard(shard);
+                    st.frames[i].page = buf;
+                    st.frames[i].checked_out = false;
+                    if let Err(e) = read {
+                        // Unpublish the reservation; woken waiters retry
+                        // and surface their own errors.
+                        st.map.remove(&key);
+                        st.frames[i].key = None;
+                        st.frames[i].referenced = false;
+                        drop(st);
+                        shard.returned.notify_all();
+                        return Err(e);
+                    }
                     st.frames[i].cold = kind == AccessKind::Sequential;
                     if st.frames[i].cold {
                         st.cold += 1;
                     }
-                    st.map.insert(key, i);
                     break i;
                 }
             }
@@ -501,91 +531,103 @@ impl BufferPool {
 
     /// Prefetch up to `max` pages of `file` starting at `start`, reading
     /// each maximal run of non-resident pages as **one** contiguous disk
-    /// batch (recorded via `record_sequential_batch`). Prefetched frames
-    /// enter the pool cold and unpinned; pages that race in through another
-    /// thread, or that find their shard exhausted, are simply dropped —
-    /// readahead is best-effort. Returns the number of pages installed.
-    pub fn prefetch_sequential(&self, file: FileId, start: PageId, max: u32) -> Result<u32> {
+    /// batch (recorded via `record_sequential_batch`). Every missing page's
+    /// frame is *reserved* — published in its shard map marked checked out —
+    /// before the disk is touched, so a concurrent load-dirty-evict of the
+    /// same page cannot slip between the batch read and the install: writers
+    /// wait on the shard condvar for the fill instead, and the batch can
+    /// never put a stale image over a newer committed one.
+    ///
+    /// Readahead is strictly best-effort: pages already resident, pages
+    /// whose shard cannot free a frame, and runs whose batch read fails are
+    /// skipped (their reservations released), never surfaced as errors —
+    /// the scan's on-demand reads report anything real. Returns the number
+    /// of pages installed.
+    pub fn prefetch_sequential(&self, file: FileId, start: PageId, max: u32) -> u32 {
         let window = self.readahead.min(max);
         if window == 0 {
-            return Ok(0);
+            return 0;
         }
         let total = match self.disk.page_count(file) {
             Ok(n) => n,
-            Err(_) => return Ok(0),
+            Err(_) => return 0,
         };
         if start.0 >= total {
-            return Ok(0);
+            return 0;
         }
         let end = total.min(start.0.saturating_add(window));
-        let mut missing: Vec<PageId> = Vec::new();
+        // Reservation pass: (page, frame index, the frame's taken buffer).
+        let mut reserved: Vec<(PageId, usize, Page)> = Vec::new();
         for p in start.0..end {
             let pid = PageId(p);
-            let shard = &self.shards[self.shard_index((file, pid))];
-            let resident = self.lock_shard(shard).map.contains_key(&(file, pid));
-            if !resident {
-                missing.push(pid);
+            let pkey = (file, pid);
+            let shard = &self.shards[self.shard_index(pkey)];
+            let mut st = self.lock_shard(shard);
+            if st.map.contains_key(&pkey) {
+                continue;
             }
+            let i = match self.evict_one(shard, &mut st) {
+                Ok(i) => i,
+                Err(_) => continue,
+            };
+            st.frames[i].key = Some(pkey);
+            st.frames[i].dirty = false;
+            st.frames[i].referenced = true;
+            st.frames[i].checked_out = true;
+            st.map.insert(pkey, i);
+            let buf = std::mem::take(&mut st.frames[i].page);
+            reserved.push((pid, i, buf));
         }
         let mut installed = 0u32;
         let mut run_start = 0usize;
-        while run_start < missing.len() {
+        while run_start < reserved.len() {
             let mut run_end = run_start + 1;
-            while run_end < missing.len() && missing[run_end].0 == missing[run_end - 1].0 + 1 {
+            while run_end < reserved.len() && reserved[run_end].0 .0 == reserved[run_end - 1].0 .0 + 1
+            {
                 run_end += 1;
             }
-            let first = missing[run_start];
-            let len = run_end - run_start;
-            let mut bufs = vec![Page::new(); len];
-            self.disk.read_pages(file, first, &mut bufs)?;
-            // Process totals: len sequential pages, one batch. Shard slices:
-            // each page counts against its own shard; the batch itself is
-            // attributed to the first page's shard — both sums telescope.
-            self.metrics.record_sequential_batch(len as u64);
-            self.shards[self.shard_index((file, first))]
-                .counters
-                .seq_batches
-                .fetch_add(1, Ordering::Relaxed);
-            for (k, buf) in bufs.into_iter().enumerate() {
-                let pid = PageId(first.0 + k as u32);
-                let pkey = (file, pid);
+            let first = reserved[run_start].0;
+            let run = &mut reserved[run_start..run_end];
+            let mut bufs: Vec<Page> = run.iter_mut().map(|(_, _, b)| std::mem::take(b)).collect();
+            let ok = self.disk.read_pages(file, first, &mut bufs).is_ok();
+            for ((_, _, slot), buf) in run.iter_mut().zip(bufs) {
+                *slot = buf;
+            }
+            if ok {
+                // Process totals: run-length sequential pages, one batch.
+                // Shard slices: each page counts against its own shard; the
+                // batch is attributed to the first page's shard — both sums
+                // telescope.
+                self.metrics.record_sequential_batch(run.len() as u64);
+                self.shards[self.shard_index((file, first))]
+                    .counters
+                    .seq_batches
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            for (pid, i, buf) in run.iter_mut() {
+                let pkey = (file, *pid);
                 let shard = &self.shards[self.shard_index(pkey)];
-                shard.counters.seq_pages.fetch_add(1, Ordering::Relaxed);
                 let mut st = self.lock_shard(shard);
-                if st.map.contains_key(&pkey) {
-                    continue;
+                st.frames[*i].page = std::mem::take(buf);
+                st.frames[*i].checked_out = false;
+                if ok {
+                    st.frames[*i].cold = true;
+                    st.cold += 1;
+                    shard.counters.seq_pages.fetch_add(1, Ordering::Relaxed);
+                    installed += 1;
+                } else {
+                    // Failed batch: release the reservation; woken waiters
+                    // fall back to on-demand reads.
+                    st.map.remove(&pkey);
+                    st.frames[*i].key = None;
+                    st.frames[*i].referenced = false;
                 }
-                let i = match self.evict_one(shard, &mut st) {
-                    Ok(i) => i,
-                    Err(StorageError::PoolExhausted) => continue,
-                    Err(e) => return Err(e),
-                };
-                st.frames[i].page = buf;
-                st.frames[i].key = Some(pkey);
-                st.frames[i].dirty = false;
-                st.frames[i].referenced = true;
-                st.frames[i].cold = true;
-                st.cold += 1;
-                st.map.insert(pkey, i);
-                installed += 1;
+                drop(st);
+                shard.returned.notify_all();
             }
             run_start = run_end;
         }
-        Ok(installed)
-    }
-
-    /// Keys the open transaction has pinned (no-steal only). Taken fresh
-    /// under the txn mutex; safe to use for a whole sweep while the shard
-    /// lock is held, since dirtying a page of that shard needs its lock.
-    fn txn_pinned_keys(&self) -> Option<HashSet<(FileId, PageId)>> {
-        if !self.no_steal {
-            return None;
-        }
-        self.txn
-            .tracker
-            .lock()
-            .as_ref()
-            .map(|tr| tr.undo.keys().copied().collect())
+        installed
     }
 
     fn is_txn_pinned(&self, key: (FileId, PageId)) -> bool {
@@ -600,57 +642,61 @@ impl BufferPool {
     }
 
     fn evict_one(&self, shard: &Shard, st: &mut ShardState) -> Result<usize> {
-        let pinned = self.txn_pinned_keys();
         // Cold-first pass: free frames and scan-loaded (cold) frames only.
         // Hot frames' reference bits are untouched here, which is what
-        // keeps a full-extent sweep from aging the hot set out.
-        if let Some(i) = self.sweep(shard, st, &pinned, true)? {
-            return Ok(i);
+        // keeps a full-extent sweep from aging the hot set out. When a
+        // fully occupied shard has no cold frames the pass cannot succeed,
+        // so it is skipped (`st.cold` tracks exactly this).
+        if st.cold > 0 || st.map.len() < st.frames.len() {
+            if let Some(i) = self.sweep(shard, st, true)? {
+                return Ok(i);
+            }
         }
         // Classic two-pass clock over everything (first pass clears bits).
-        if let Some(i) = self.sweep(shard, st, &pinned, false)? {
+        if let Some(i) = self.sweep(shard, st, false)? {
             return Ok(i);
         }
         Err(StorageError::PoolExhausted)
     }
 
-    fn sweep(
-        &self,
-        shard: &Shard,
-        st: &mut ShardState,
-        pinned: &Option<HashSet<(FileId, PageId)>>,
-        cold_only: bool,
-    ) -> Result<Option<usize>> {
+    fn sweep(&self, shard: &Shard, st: &mut ShardState, cold_only: bool) -> Result<Option<usize>> {
         for _ in 0..(2 * st.frames.len() + 1) {
             let i = st.hand;
             st.hand = (st.hand + 1) % st.frames.len();
             if cold_only && st.frames[i].key.is_some() && !st.frames[i].cold {
                 continue;
             }
+            if st.frames[i].pins > 0 || st.frames[i].checked_out {
+                continue;
+            }
             // No-steal: pages dirtied by the open transaction are pinned —
             // flushing them would put uncommitted bytes on disk that a
-            // redo-only log could never undo after a crash.
-            let txn_pinned = match (pinned, st.frames[i].key) {
-                (Some(set), Some(key)) => set.contains(&key),
-                _ => false,
-            };
-            if st.frames[i].pins > 0 || st.frames[i].checked_out || txn_pinned {
+            // redo-only log could never undo after a crash. Only dirty
+            // frames can be txn-pinned (the txn dirtied them and nothing
+            // cleans them before commit), so the txn-mutex peek is skipped
+            // for the clean majority.
+            if st.frames[i].dirty && st.frames[i].key.is_some_and(|key| self.is_txn_pinned(key)) {
                 continue;
             }
             if st.frames[i].referenced {
                 st.frames[i].referenced = false;
                 continue;
             }
-            if st.frames[i].cold {
-                st.frames[i].cold = false;
-                st.cold -= 1;
-            }
-            if let Some(key) = st.frames[i].key.take() {
+            if let Some(key) = st.frames[i].key {
                 if st.frames[i].dirty {
                     self.record_write(shard);
+                    // Write back *before* detaching the frame, so an I/O
+                    // error leaves the page mapped and dirty — the caller
+                    // can surface or swallow the error without the pool
+                    // losing its only up-to-date copy.
                     self.disk.write_page(key.0, key.1, &st.frames[i].page)?;
                     st.frames[i].dirty = false;
                 }
+                if st.frames[i].cold {
+                    st.frames[i].cold = false;
+                    st.cold -= 1;
+                }
+                st.frames[i].key = None;
                 st.map.remove(&key);
                 self.record_eviction(shard);
             }
@@ -963,6 +1009,8 @@ impl BufferPool {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::HashSet;
+
     use super::*;
     use crate::disk::MemDisk;
     use crate::page::PAGE_SIZE;
@@ -1317,7 +1365,7 @@ mod tests {
         }
         assert!(pool.readahead_window() >= 2);
         let before = pool.metrics().snapshot();
-        let got = pool.prefetch_sequential(f, PageId(0), 8).unwrap();
+        let got = pool.prefetch_sequential(f, PageId(0), 8);
         assert_eq!(got, pool.readahead_window().min(8));
         let d = pool.metrics().snapshot().delta(&before);
         assert_eq!(d.seq_pages, got as u64);
@@ -1343,7 +1391,7 @@ mod tests {
         pool.with_page(f, PageId(2), AccessKind::Random, |_| {})
             .unwrap();
         let before = pool.metrics().snapshot();
-        let got = pool.prefetch_sequential(f, PageId(0), 8).unwrap();
+        let got = pool.prefetch_sequential(f, PageId(0), 8);
         let d = pool.metrics().snapshot().delta(&before);
         assert_eq!(got as u64, d.seq_pages);
         assert_eq!(d.seq_batches, 2, "resident page splits the run in two");
@@ -1357,7 +1405,7 @@ mod tests {
         assert_eq!(pool.readahead_window(), 0);
         let f = disk.create_file().unwrap();
         disk.allocate_page(f).unwrap();
-        assert_eq!(pool.prefetch_sequential(f, PageId(0), 8).unwrap(), 0);
+        assert_eq!(pool.prefetch_sequential(f, PageId(0), 8), 0);
     }
 
     #[test]

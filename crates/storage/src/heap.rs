@@ -339,7 +339,9 @@ impl HeapFile {
             let pid = PageId(pnum);
             if window > 0 && (pnum - start).is_multiple_of(window) {
                 let span = window.min(end - pnum);
-                self.pool.prefetch_sequential(self.file, pid, span)?;
+                // Advisory: a failed readahead just means the pages are
+                // fetched on demand below, where real errors surface.
+                self.pool.prefetch_sequential(self.file, pid, span);
             }
             // Materialize the page's live slots, then resolve forwards
             // outside the page callback (no pool re-entrancy).

@@ -2,11 +2,13 @@
 //! double-framing across shards, per-shard metrics telescoping, and the
 //! scan-resistant replacement policy protecting the B-tree hot set.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use mood_storage::{
-    AccessKind, BTree, BufferPool, Disk, DiskMetrics, HeapFile, MemDisk, MetricsSnapshot, Oid,
-    PageId, SlotId,
+    AccessKind, BTree, BufferPool, Disk, DiskMetrics, FileId, HeapFile, MemDisk, MetricsSnapshot,
+    Oid, Page, PageId, Result as StorageResult, SlotId,
 };
 
 /// SplitMix64 — deterministic per-thread mixing without a rand dependency.
@@ -191,4 +193,113 @@ fn btree_hot_set_survives_full_extent_sweep() {
         "post-sweep lookup must hit the still-resident hot set"
     );
     assert_eq!(after.buffer_misses, 0);
+}
+
+/// Regression for the readahead stale-install race: a prefetch batch read
+/// runs with no locks held, so without frame reservation another thread
+/// could load the same page, dirty it, and have it evicted (written back)
+/// mid-read — after which installing the prefetched buffer would publish
+/// the stale pre-update image as clean and lose the committed write. The
+/// pool now reserves every window page (published in the shard map, marked
+/// checked out) *before* the read; concurrent writers wait for the fill.
+///
+/// The gated disk completes the underlying batch read first and then holds
+/// the call open, stretching the read-to-install window to a controlled
+/// interval the writer thread races into.
+#[test]
+fn prefetch_cannot_clobber_concurrent_update() {
+    struct GatedDisk {
+        inner: MemDisk,
+        gate_open: AtomicBool,
+        batch_entered: AtomicBool,
+    }
+    impl Disk for GatedDisk {
+        fn create_file(&self) -> StorageResult<FileId> {
+            self.inner.create_file()
+        }
+        fn drop_file(&self, file: FileId) -> StorageResult<()> {
+            self.inner.drop_file(file)
+        }
+        fn page_count(&self, file: FileId) -> StorageResult<u32> {
+            self.inner.page_count(file)
+        }
+        fn allocate_page(&self, file: FileId) -> StorageResult<PageId> {
+            self.inner.allocate_page(file)
+        }
+        fn read_page(&self, file: FileId, page: PageId, buf: &mut Page) -> StorageResult<()> {
+            self.inner.read_page(file, page, buf)
+        }
+        fn read_pages(&self, file: FileId, start: PageId, bufs: &mut [Page]) -> StorageResult<()> {
+            // Read first, then stall: the caller sits on already-fetched
+            // (potentially stale) bytes until the test opens the gate.
+            let r = self.inner.read_pages(file, start, bufs);
+            self.batch_entered.store(true, Ordering::SeqCst);
+            while !self.gate_open.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            r
+        }
+        fn write_page(&self, file: FileId, page: PageId, data: &Page) -> StorageResult<()> {
+            self.inner.write_page(file, page, data)
+        }
+        fn sync(&self) -> StorageResult<()> {
+            self.inner.sync()
+        }
+        fn files(&self) -> Vec<FileId> {
+            self.inner.files()
+        }
+    }
+
+    let disk = Arc::new(GatedDisk {
+        inner: MemDisk::new(),
+        gate_open: AtomicBool::new(false),
+        batch_entered: AtomicBool::new(false),
+    });
+    // 16 frames = 4 shards x 4, readahead window 2: small enough that the
+    // writer's sweep below evicts its dirtied page under the old design.
+    let pool = Arc::new(BufferPool::new(disk.clone(), 16, DiskMetrics::new()));
+    let f = disk.create_file().unwrap();
+    for _ in 0..32 {
+        disk.allocate_page(f).unwrap();
+    }
+    assert!(pool.readahead_window() >= 2);
+
+    std::thread::scope(|s| {
+        let prefetcher = {
+            let pool = pool.clone();
+            s.spawn(move || pool.prefetch_sequential(f, PageId(0), 8))
+        };
+        while !disk.batch_entered.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The batch covering page 0 has been read but not installed. A
+        // writer must wait on the reservation rather than load its own
+        // copy, dirty it, and have it written back behind the reader.
+        let writer = {
+            let pool = pool.clone();
+            s.spawn(move || {
+                pool.with_page_mut(f, PageId(0), AccessKind::Random, |p| p.data[0] = 99)
+                    .unwrap();
+                // Eviction pressure on page 0's shard: under the old
+                // check-at-install design this flushed the update to disk
+                // and let the stale batch image replace it.
+                for p in (4..32u32).filter(|p| p % 4 == 0) {
+                    pool.with_page(f, PageId(p), AccessKind::Random, |_| {})
+                        .unwrap();
+                }
+            })
+        };
+        // Let the writer run (it blocks on the checked-out page), then
+        // release the install.
+        std::thread::sleep(Duration::from_millis(50));
+        disk.gate_open.store(true, Ordering::SeqCst);
+        prefetcher.join().unwrap();
+        writer.join().unwrap();
+    });
+
+    let v = pool
+        .with_page(f, PageId(0), AccessKind::Random, |p| p.data[0])
+        .unwrap();
+    assert_eq!(v, 99, "prefetch install clobbered a concurrent update");
+    assert!(pool.frames_holding(f, PageId(0)) <= 1);
 }
