@@ -30,8 +30,8 @@ pub use join::{
 };
 pub use mood_storage::exec::ExecutionConfig;
 pub use ops::{
-    bind, bind_class, deref, ind_sel, is_a, obj_id, select, select_par, type_id, IndexType,
-    Predicate, SyncPredicate,
+    bind, bind_class, deref, ind_sel, is_a, obj_id, select, select_compiled, select_compiled_par,
+    select_par, type_id, IndexType, Predicate, SyncPredicate,
 };
 pub use restructure::{
     as_extent, as_list, as_set, flatten, nest, partition, project, project_par, sort, sort_par,

@@ -197,6 +197,129 @@ pub fn select_par(
     })
 }
 
+/// Dereference through the catalog for compiled path traversal.
+struct CatalogResolver<'a> {
+    catalog: &'a Catalog,
+}
+
+impl mood_datamodel::Resolver for CatalogResolver<'_> {
+    fn resolve(&self, oid: Oid) -> Option<Value> {
+        self.catalog.get_object(oid).ok().map(|(_, v)| v)
+    }
+}
+
+fn compiled_matches(
+    catalog: &Catalog,
+    p: &mood_funcman::CompiledPredicate,
+    regs: &mut mood_funcman::Registers,
+    o: &Obj,
+) -> Result<bool> {
+    let resolver = CatalogResolver { catalog };
+    let ctx = mood_funcman::EvalCtx {
+        self_value: &o.value,
+        args: &[],
+        resolver: Some(&resolver),
+        dispatcher: None,
+    };
+    Ok(p.matches(regs, &ctx)?)
+}
+
+/// [`select`] with a compiled register-program predicate (the Function
+/// Manager's compile-once discipline applied to scans): per-element
+/// evaluation reuses one scratch [`Registers`] instead of re-walking an
+/// expression tree, and path traversal dereferences through the catalog.
+///
+/// [`Registers`]: mood_funcman::Registers
+pub fn select_compiled(
+    catalog: &Catalog,
+    arg: &Collection,
+    p: &mood_funcman::CompiledPredicate,
+) -> Result<Collection> {
+    let mut regs = mood_funcman::Registers::default();
+    Ok(match arg {
+        Collection::Extent(objs) => {
+            let mut out = Vec::new();
+            for o in objs {
+                if compiled_matches(catalog, p, &mut regs, o)? {
+                    out.push(o.clone());
+                }
+            }
+            Collection::Extent(out)
+        }
+        Collection::Set(oids) | Collection::List(oids) => {
+            let mut out = Vec::new();
+            for &oid in oids {
+                let o = deref(catalog, oid)?;
+                if compiled_matches(catalog, p, &mut regs, &o)? {
+                    out.push(oid);
+                }
+            }
+            if matches!(arg, Collection::Set(_)) {
+                Collection::set_from(out)
+            } else {
+                Collection::List(out)
+            }
+        }
+        Collection::NamedObject(obj) => {
+            if compiled_matches(catalog, p, &mut regs, obj)? {
+                Collection::NamedObject(obj.clone())
+            } else {
+                Collection::Empty
+            }
+        }
+        Collection::Empty => Collection::Empty,
+    })
+}
+
+/// Chunk-parallel [`select_compiled`]: programs are immutable and `Sync`,
+/// so workers share the program and each keeps its own scratch registers
+/// (one allocation per chunk, not per element). Chunk order concatenation
+/// preserves the sequential output order exactly.
+pub fn select_compiled_par(
+    catalog: &Catalog,
+    arg: &Collection,
+    p: &mood_funcman::CompiledPredicate,
+    exec: ExecutionConfig,
+) -> Result<Collection> {
+    if !exec.is_parallel() {
+        return select_compiled(catalog, arg, p);
+    }
+    Ok(match arg {
+        Collection::Extent(objs) => {
+            let out = run_chunked(exec.parallelism, objs, |_, chunk| {
+                let mut regs = mood_funcman::Registers::default();
+                let mut keep = Vec::new();
+                for o in chunk {
+                    if compiled_matches(catalog, p, &mut regs, o)? {
+                        keep.push(o.clone());
+                    }
+                }
+                Ok::<_, AlgebraError>(keep)
+            })?;
+            Collection::Extent(out)
+        }
+        Collection::Set(oids) | Collection::List(oids) => {
+            let out = run_chunked(exec.parallelism, oids, |_, chunk| {
+                let mut regs = mood_funcman::Registers::default();
+                let mut keep = Vec::new();
+                for &oid in chunk {
+                    let o = deref(catalog, oid)?;
+                    if compiled_matches(catalog, p, &mut regs, &o)? {
+                        keep.push(oid);
+                    }
+                }
+                Ok::<_, AlgebraError>(keep)
+            })?;
+            if matches!(arg, Collection::Set(_)) {
+                Collection::set_from(out)
+            } else {
+                Collection::List(out)
+            }
+        }
+        other => select_compiled(catalog, other, p)?,
+    })
+}
+
 /// Index type selector for `IndSel`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IndexType {

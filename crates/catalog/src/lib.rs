@@ -26,6 +26,7 @@ pub use schema::{AttributeDef, ClassBuilder, ClassDef, ClassKind, MethodSig, Typ
 pub use stats::{AttrStats, ClassStats, DatabaseStats, RefStats};
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -67,6 +68,12 @@ struct Inner {
 pub struct Catalog {
     sm: Arc<StorageManager>,
     inner: RwLock<Inner>,
+    /// Schema/statistics epoch: bumped by every DDL, index change, stats
+    /// refresh and schema reload. Cached query plans are tagged with the
+    /// epoch they were compiled under and discarded when it moves — object
+    /// inserts/updates/deletes do *not* bump it (plans re-scan extents and
+    /// re-probe indexes at execution time, so they stay correct across DML).
+    epoch: AtomicU64,
 }
 
 const DEFAULT_HASH_BUCKETS: u32 = 64;
@@ -87,6 +94,7 @@ impl Catalog {
                 stats: DatabaseStats::new(),
                 named: HashMap::new(),
             }),
+            epoch: AtomicU64::new(0),
         })
     }
 
@@ -118,11 +126,22 @@ impl Catalog {
                 stats: DatabaseStats::new(),
                 named: HashMap::new(),
             }),
+            epoch: AtomicU64::new(0),
         })
     }
 
     pub fn storage(&self) -> &Arc<StorageManager> {
         &self.sm
+    }
+
+    /// The current schema/statistics epoch (see the field docs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Advance the epoch, invalidating plans compiled under earlier ones.
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// The bootstrap root for [`Catalog::open`].
@@ -158,6 +177,8 @@ impl Catalog {
         inner.by_id = by_id;
         inner.extent_class = extent_class;
         inner.next_type_id = next;
+        drop(inner);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -196,6 +217,8 @@ impl Catalog {
             inner.extent_class.insert(f, name.clone());
         }
         inner.store.save_class(&def)?;
+        drop(inner);
+        self.bump_epoch();
         Ok(def)
     }
 
@@ -227,6 +250,8 @@ impl Catalog {
             }
         });
         inner.store.delete_class(name)?;
+        drop(inner);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -255,6 +280,8 @@ impl Catalog {
             }
         }
         inner.store.save_class(&def)?;
+        drop(inner);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -712,6 +739,7 @@ impl Catalog {
         if let Some(e) = first_err {
             return Err(e);
         }
+        self.bump_epoch();
         Ok(info)
     }
 
@@ -729,6 +757,7 @@ impl Catalog {
         self.sm.forget_index(info.file);
         self.sm.pool().discard_file(info.file);
         let _ = self.sm.pool().disk().drop_file(info.file);
+        self.bump_epoch();
         Ok(())
     }
 
@@ -809,6 +838,7 @@ impl Catalog {
             .indexes
             .insert((class.to_string(), dotted), info.clone());
         self.rebuild_path_index(class, path)?;
+        self.bump_epoch();
         Ok(info)
     }
 
@@ -1057,6 +1087,7 @@ impl Catalog {
     /// Tables 13–15).
     pub fn set_stats(&self, stats: DatabaseStats) {
         self.inner.write().stats = stats;
+        self.bump_epoch();
     }
 
     /// Recompute statistics for every class by scanning extents: the
@@ -1167,6 +1198,7 @@ impl Catalog {
             }
         }
         self.inner.write().stats = stats.clone();
+        self.bump_epoch();
         Ok(stats)
     }
 }

@@ -39,6 +39,10 @@ pub enum ExceptionKind {
     Signal,
     /// Errors bubbled up from the catalog/storage layers.
     System,
+    /// Raised by Sql-mode compiled programs: the message carries the query
+    /// engine's own error text verbatim, so MOODSQL can re-wrap it as an
+    /// execution error identical to its interpreter's.
+    Query,
 }
 
 impl Exception {

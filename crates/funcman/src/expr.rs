@@ -25,16 +25,32 @@ use crate::operand::OperandDataType as Op;
 /// Parsed expression AST.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
-    Int(i64),
-    Float(f64),
-    Str(String),
-    Bool(bool),
+    /// A literal, materialized as a [`Value`] once at compile time so the
+    /// evaluator returns it by reference instead of re-allocating (string
+    /// literals used to clone per evaluation, i.e. per row in a scan).
+    Lit(Value),
     /// `a.b.c` — first segment may be `self`, a parameter or an attribute.
     Path(Vec<String>),
     Unary(UnOp, Box<Expr>),
     Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `v BETWEEN lo AND hi` — no surface syntax in the body language;
+    /// constructed by embedders (MOODSQL lowers its `BETWEEN` here so the
+    /// compiler can preserve its evaluate-all-operands semantics).
+    Between(Box<Expr>, Box<Expr>, Box<Expr>),
     /// `name(args...)` — a call to another method on `self`.
     Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Literal constructor for integers, with the same narrowing rule the
+    /// evaluator historically applied: fits-in-i32 → `Integer`, else
+    /// `LongInteger`.
+    pub fn int(i: i64) -> Expr {
+        match i32::try_from(i) {
+            Ok(v) => Expr::Lit(Value::Integer(v)),
+            Err(_) => Expr::Lit(Value::LongInteger(i)),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +77,7 @@ pub enum BinOp {
 }
 
 impl BinOp {
-    fn cmp_symbol(&self) -> Option<&'static str> {
+    pub(crate) fn cmp_symbol(&self) -> Option<&'static str> {
         Some(match self {
             BinOp::Eq => "=",
             BinOp::Ne => "<>",
@@ -301,21 +317,21 @@ impl Parser {
         match self.peek().cloned() {
             Some(Tok::Int(i)) => {
                 self.pos += 1;
-                Ok(Expr::Int(i))
+                Ok(Expr::int(i))
             }
             Some(Tok::Float(f)) => {
                 self.pos += 1;
-                Ok(Expr::Float(f))
+                Ok(Expr::Lit(Value::Float(f)))
             }
             Some(Tok::Str(s)) => {
                 self.pos += 1;
-                Ok(Expr::Str(s))
+                Ok(Expr::Lit(Value::String(s)))
             }
             Some(Tok::Ident(name)) => {
                 self.pos += 1;
                 match name.as_str() {
-                    "true" => return Ok(Expr::Bool(true)),
-                    "false" => return Ok(Expr::Bool(false)),
+                    "true" => return Ok(Expr::Lit(Value::Boolean(true))),
+                    "false" => return Ok(Expr::Lit(Value::Boolean(false))),
                     _ => {}
                 }
                 if self.eat_sym("(") {
@@ -438,19 +454,59 @@ impl<'a> EvalCtx<'a> {
     }
 }
 
+/// A borrowed-or-owned evaluation result: literals and attribute roots come
+/// back borrowed so the interpreter stops allocating a fresh `Value` per
+/// evaluation (per row, under a scan) for constants.
+enum Ev<'a> {
+    B(&'a Value),
+    O(Value),
+}
+
+impl<'a> Ev<'a> {
+    fn get(&self) -> &Value {
+        match self {
+            Ev::B(v) => v,
+            Ev::O(v) => v,
+        }
+    }
+
+    fn into_value(self) -> Value {
+        match self {
+            Ev::B(v) => v.clone(),
+            Ev::O(v) => v,
+        }
+    }
+}
+
+/// AND truth table of [`Op::and`] on borrowed values (callers have already
+/// handled the definite-false left short-circuit and atomicity).
+fn and_values(l: &Value, r: &Value) -> Result<Value, Exception> {
+    match (l, r) {
+        (Value::Boolean(false), _) | (_, Value::Boolean(false)) => Ok(Value::Boolean(false)),
+        (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+        (Value::Boolean(a), Value::Boolean(b)) => Ok(Value::Boolean(*a && *b)),
+        _ => Err(Exception::type_error("AND needs Boolean operands")),
+    }
+}
+
+/// OR truth table of [`Op::or`] on borrowed values.
+fn or_values(l: &Value, r: &Value) -> Result<Value, Exception> {
+    match (l, r) {
+        (Value::Boolean(true), _) | (_, Value::Boolean(true)) => Ok(Value::Boolean(true)),
+        (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+        (Value::Boolean(a), Value::Boolean(b)) => Ok(Value::Boolean(*a || *b)),
+        _ => Err(Exception::type_error("OR needs Boolean operands")),
+    }
+}
+
 /// Evaluate a compiled body.
 pub fn eval(expr: &Expr, ctx: &EvalCtx<'_>) -> Result<Value, Exception> {
+    eval_ref(expr, ctx).map(Ev::into_value)
+}
+
+fn eval_ref<'a>(expr: &'a Expr, ctx: &EvalCtx<'a>) -> Result<Ev<'a>, Exception> {
     Ok(match expr {
-        Expr::Int(i) => {
-            if let Ok(v) = i32::try_from(*i) {
-                Value::Integer(v)
-            } else {
-                Value::LongInteger(*i)
-            }
-        }
-        Expr::Float(f) => Value::Float(*f),
-        Expr::Str(s) => Value::String(s.clone()),
-        Expr::Bool(b) => Value::Boolean(*b),
+        Expr::Lit(v) => Ev::B(v),
         Expr::Path(path) => {
             let mut cur = ctx.lookup_root(&path[0]).ok_or_else(|| {
                 Exception::new(
@@ -462,45 +518,74 @@ pub fn eval(expr: &Expr, ctx: &EvalCtx<'_>) -> Result<Value, Exception> {
                 cur = ctx.step(&cur, seg)?;
             }
             // A terminal Ref is fine (reference-valued result).
-            cur
+            Ev::O(cur)
         }
         Expr::Unary(op, inner) => {
-            let v = Op::from_value(&eval(inner, ctx)?)?;
+            let v = Op::from_value(eval_ref(inner, ctx)?.get())?;
             match op {
-                UnOp::Neg => v.neg()?.into_value(),
-                UnOp::Not => v.not()?.into_value(),
+                UnOp::Neg => Ev::O(v.neg()?.into_value()),
+                UnOp::Not => Ev::O(v.not()?.into_value()),
             }
         }
         Expr::Binary(op, lhs, rhs) => {
             // Short-circuit AND/OR before evaluating the right side — the
             // optimizer's predicate-ordering heuristic depends on this.
             if *op == BinOp::And {
-                let l = Op::from_value(&eval(lhs, ctx)?)?;
-                if l == Op::Bool(false) {
-                    return Ok(Value::Boolean(false));
+                let l = eval_ref(lhs, ctx)?;
+                Op::ensure_atomic(l.get())?;
+                if matches!(l.get(), Value::Boolean(false)) {
+                    return Ok(Ev::O(Value::Boolean(false)));
                 }
-                let r = Op::from_value(&eval(rhs, ctx)?)?;
-                return Ok(l.and(&r)?.into_value());
+                let r = eval_ref(rhs, ctx)?;
+                Op::ensure_atomic(r.get())?;
+                return Ok(Ev::O(and_values(l.get(), r.get())?));
             }
             if *op == BinOp::Or {
-                let l = Op::from_value(&eval(lhs, ctx)?)?;
-                if l == Op::Bool(true) {
-                    return Ok(Value::Boolean(true));
+                let l = eval_ref(lhs, ctx)?;
+                Op::ensure_atomic(l.get())?;
+                if matches!(l.get(), Value::Boolean(true)) {
+                    return Ok(Ev::O(Value::Boolean(true)));
                 }
-                let r = Op::from_value(&eval(rhs, ctx)?)?;
-                return Ok(l.or(&r)?.into_value());
+                let r = eval_ref(rhs, ctx)?;
+                Op::ensure_atomic(r.get())?;
+                return Ok(Ev::O(or_values(l.get(), r.get())?));
             }
-            let l = Op::from_value(&eval(lhs, ctx)?)?;
-            let r = Op::from_value(&eval(rhs, ctx)?)?;
+            if let Some(sym) = op.cmp_symbol() {
+                // Comparisons run entirely on borrowed values: a string
+                // attribute against a string constant no longer clones
+                // either side per row.
+                let l = eval_ref(lhs, ctx)?;
+                Op::ensure_atomic(l.get())?;
+                let r = eval_ref(rhs, ctx)?;
+                Op::ensure_atomic(r.get())?;
+                return Ok(Ev::O(Op::cmp_op_values(sym, l.get(), r.get())?));
+            }
+            let l = Op::from_value(eval_ref(lhs, ctx)?.get())?;
+            let r = Op::from_value(eval_ref(rhs, ctx)?.get())?;
             let out = match op {
                 BinOp::Add => l.add(&r)?,
                 BinOp::Sub => l.sub(&r)?,
                 BinOp::Mul => l.mul(&r)?,
                 BinOp::Div => l.div(&r)?,
                 BinOp::Rem => l.rem(&r)?,
-                other => l.cmp_op(other.cmp_symbol().expect("comparison"), &r)?,
+                other => unreachable!("comparison {other:?} handled above"),
             };
-            out.into_value()
+            Ev::O(out.into_value())
+        }
+        Expr::Between(v, lo, hi) => {
+            let v = eval_ref(v, ctx)?;
+            let lo = eval_ref(lo, ctx)?;
+            let hi = eval_ref(hi, ctx)?;
+            let (v, lo, hi) = (v.get(), lo.get(), hi.get());
+            if v.is_null() || lo.is_null() || hi.is_null() {
+                return Ok(Ev::O(Value::Null));
+            }
+            let ge = Op::compare_values(v, lo)?.map(|o| o != std::cmp::Ordering::Less);
+            let le = Op::compare_values(v, hi)?.map(|o| o != std::cmp::Ordering::Greater);
+            match (ge, le) {
+                (Some(a), Some(b)) => Ev::O(Value::Boolean(a && b)),
+                _ => return Err(Exception::type_error("BETWEEN on incomparable values")),
+            }
         }
         Expr::Call(name, args) => {
             let dispatcher = ctx.dispatcher.ok_or_else(|| {
@@ -511,9 +596,9 @@ pub fn eval(expr: &Expr, ctx: &EvalCtx<'_>) -> Result<Value, Exception> {
             })?;
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
-                vals.push(eval(a, ctx)?);
+                vals.push(eval_ref(a, ctx)?.into_value());
             }
-            dispatcher(name, &vals)?
+            Ev::O(dispatcher(name, &vals)?)
         }
     })
 }

@@ -14,11 +14,16 @@
 //! * [`manager`] — signatures, shared objects, dynamic linking, invocation
 //!   with late binding.
 
+pub mod compile;
 pub mod exception;
 pub mod expr;
 pub mod manager;
 pub mod operand;
 
+pub use compile::{
+    compile_program, CompileOpts, CompiledPredicate, CompiledProjection, Mode, Program, Registers,
+    StaticKind,
+};
 pub use exception::{catch, Exception, ExceptionKind};
 pub use expr::{compile, eval, EvalCtx, Expr};
 pub use manager::{FunctionManager, MethodBody, NativeFn};

@@ -46,6 +46,17 @@ pub enum OperandDataType {
 
 use OperandDataType as Op;
 
+/// Numeric view of an atomic [`Value`] (the coercion [`Op::as_f64`] applies
+/// after wrapping), borrowed — no operand materialization.
+fn value_as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Integer(i) => Some(*i as f64),
+        Value::LongInteger(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
 impl OperandDataType {
     /// Wrap a data-model value.
     pub fn from_value(v: &Value) -> Result<Op, Exception> {
@@ -263,6 +274,66 @@ impl OperandDataType {
             _ => return Err(Exception::type_error(format!("unknown comparison {op}"))),
         };
         Ok(Op::Bool(b))
+    }
+
+    /// Reject non-atomic values with the exact error [`Op::from_value`]
+    /// raises, without materializing an operand.
+    pub fn ensure_atomic(v: &Value) -> Result<(), Exception> {
+        match v {
+            Value::Integer(_)
+            | Value::LongInteger(_)
+            | Value::Float(_)
+            | Value::Boolean(_)
+            | Value::String(_)
+            | Value::Char(_)
+            | Value::Null => Ok(()),
+            other => Err(Exception::type_error(format!(
+                "operand must be atomic, got {other}"
+            ))),
+        }
+    }
+
+    /// Borrow-based [`Op::compare`]: identical semantics (Null → unknown,
+    /// same-kind strings/chars/bools, numeric coercion through f64) without
+    /// cloning operands — the hot path for per-row comparisons. Callers must
+    /// [`Op::ensure_atomic`] both sides first.
+    pub fn compare_values(a: &Value, b: &Value) -> Result<Option<Ordering>, Exception> {
+        if matches!(a, Value::Null) || matches!(b, Value::Null) {
+            return Ok(None);
+        }
+        match (a, b) {
+            (Value::String(x), Value::String(y)) => Ok(Some(x.cmp(y))),
+            (Value::Char(x), Value::Char(y)) => Ok(Some(x.cmp(y))),
+            (Value::Boolean(x), Value::Boolean(y)) => Ok(Some(x.cmp(y))),
+            _ => match (value_as_f64(a), value_as_f64(b)) {
+                (Some(x), Some(y)) => Ok(x.partial_cmp(&y)),
+                // Error path only: materialize for the same Debug rendering
+                // Op::compare produces.
+                _ => {
+                    let (x, y) = (Op::from_value(a)?, Op::from_value(b)?);
+                    Err(Exception::type_error(format!(
+                        "cannot compare {x:?} with {y:?}"
+                    )))
+                }
+            },
+        }
+    }
+
+    /// Borrow-based [`Op::cmp_op`]: comparison by symbol, Null → Null.
+    pub fn cmp_op_values(op: &str, a: &Value, b: &Value) -> Result<Value, Exception> {
+        let Some(ord) = Op::compare_values(a, b)? else {
+            return Ok(Value::Null);
+        };
+        let r = match op {
+            "=" => ord == Ordering::Equal,
+            "<>" => ord != Ordering::Equal,
+            "<" => ord == Ordering::Less,
+            "<=" => ord != Ordering::Greater,
+            ">" => ord == Ordering::Greater,
+            ">=" => ord != Ordering::Less,
+            _ => return Err(Exception::type_error(format!("unknown comparison {op}"))),
+        };
+        Ok(Value::Boolean(r))
     }
 
     /// Assignment cast — the paper's "result's type is casted to double

@@ -224,6 +224,13 @@ pub struct AnalyzeReport {
     /// Counter delta over the whole statement.
     pub total: MetricsSnapshot,
     pub elapsed_nanos: u64,
+    /// The plan came from the session plan cache (no bind/optimize ran).
+    pub cached: bool,
+    /// Catalog epoch the plan was built under.
+    pub epoch: u64,
+    /// Time spent in PLAN (bind + statistics + optimize + estimates);
+    /// zero for a cached execution.
+    pub compile_nanos: u64,
 }
 
 impl AnalyzeReport {
@@ -255,6 +262,24 @@ impl AnalyzeReport {
         }
         if self.terms.is_empty() {
             out.push_str("-- nested-loop fallback (no per-operator plan)\n");
+        }
+        // Compile-vs-execute split. `-- plan: ` has its own prefix: `--   `
+        // belongs to PathSelInfo/stage rows and `-- * ` to estimate rows,
+        // and the conformance tests count lines by those prefixes.
+        let execute_nanos = self.elapsed_nanos.saturating_sub(self.compile_nanos);
+        if self.cached {
+            out.push_str(&format!(
+                "-- plan: cached (epoch {}), compile 0.000ms (plan reused), execute {:.3}ms\n",
+                self.epoch,
+                execute_nanos as f64 / 1e6
+            ));
+        } else {
+            out.push_str(&format!(
+                "-- plan: fresh (epoch {}), compile {:.3}ms, execute {:.3}ms\n",
+                self.epoch,
+                self.compile_nanos as f64 / 1e6,
+                execute_nanos as f64 / 1e6
+            ));
         }
         out.push_str("-- stages:\n");
         for s in &self.stages {

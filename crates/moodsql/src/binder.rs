@@ -57,7 +57,7 @@ pub fn classify(stmt: &Statement) -> StmtKind {
 }
 
 /// The lowering result.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Lowered {
     pub spec: QuerySpec,
     /// The FROM item the spec is rooted at.

@@ -14,8 +14,8 @@ use std::time::Instant;
 use mood_catalog::Catalog;
 use mood_cost::JoinMethod;
 use mood_datamodel::{encode_value, Value};
-use mood_funcman::{FunctionManager, OperandDataType};
-use mood_optimizer::{estimate_plan_set, optimize, OptimizerConfig, Plan, PlanSet};
+use mood_funcman::{FunctionManager, OperandDataType, Registers};
+use mood_optimizer::{estimate_plan_set, optimize, NodeEstimate, OptimizerConfig, Plan, PlanSet};
 use mood_storage::exec::run_chunked;
 use mood_storage::{AccessHint, Oid};
 use mood_trace::Tracer;
@@ -26,6 +26,7 @@ use crate::analyze::{
 };
 use crate::ast::{AggFunc, Expr, Lit, PathRef, SelectStmt};
 use crate::binder::{lower, Lowered};
+use crate::compiled::{compile_pred, compile_proj, PreparedPred, RowProg};
 use crate::error::{Result, SqlError};
 use crate::parser::parse_expr;
 
@@ -58,6 +59,50 @@ impl QueryResult {
     /// Single-column convenience accessor.
     pub fn column(&self, idx: usize) -> Vec<&Value> {
         self.rows.iter().map(|r| &r[idx]).collect()
+    }
+}
+
+/// A SELECT prepared once — bound, optimized, estimated, its predicates
+/// parsed and (where possible) compiled to register programs — and
+/// re-executable any number of times. The session's plan cache stores
+/// these keyed by normalized SQL text; `epoch` is the catalog epoch the
+/// plan was built under, so any DDL or statistics refresh invalidates it.
+pub struct PreparedQuery {
+    stmt: SelectStmt,
+    lowered: Lowered,
+    terms: Vec<(PlanSet, Vec<NodeEstimate>)>,
+    /// Catalog epoch at preparation; a mismatch means the plan is stale.
+    pub epoch: u64,
+    /// Plan predicate text → pre-parsed (and maybe compiled) form.
+    preds: HashMap<String, PreparedPred>,
+    /// Compiled projection columns (ungrouped queries), index-aligned
+    /// with the statement's projection list; `None` falls back per column.
+    proj: Vec<Option<RowProg>>,
+    /// Wall time spent preparing (EXPLAIN ANALYZE's compile/execute split).
+    pub compile_nanos: u64,
+}
+
+/// Collect the predicate texts of every Select/IndSel node in a plan.
+fn plan_predicates<'p>(plan: &'p Plan, out: &mut Vec<&'p str>) {
+    match plan {
+        Plan::Select { input, predicate } => {
+            out.push(predicate);
+            plan_predicates(input, out);
+        }
+        Plan::IndSel { predicate, .. } => out.push(predicate),
+        Plan::Join { left, right, .. } => {
+            plan_predicates(left, out);
+            plan_predicates(right, out);
+        }
+        Plan::Union { inputs } => {
+            for p in inputs {
+                plan_predicates(p, out);
+            }
+        }
+        Plan::Project { input, .. } | Plan::Sort { input, .. } | Plan::Partition { input, .. } => {
+            plan_predicates(input, out)
+        }
+        Plan::Bind { .. } | Plan::Temp { .. } => {}
     }
 }
 
@@ -110,22 +155,49 @@ impl<'a> Executor<'a> {
     /// asks for it. Chunks are concatenated in input order, so survivors
     /// appear exactly as the sequential loop would emit them; the error
     /// from the earliest failing row wins either way.
-    fn filter_rows(&self, rows: Vec<Row>, expr: &Expr) -> Result<Vec<Row>> {
+    ///
+    /// With a compiled form the register program evaluates each row
+    /// (scratch registers are reused per worker, not per row); semantics
+    /// are identical to the interpreter by construction.
+    fn filter_rows(
+        &self,
+        rows: Vec<Row>,
+        expr: &Expr,
+        compiled: Option<&crate::compiled::RowPred>,
+    ) -> Result<Vec<Row>> {
         let par = self.config.execution.parallelism;
         if par <= 1 {
             let mut kept = Vec::new();
-            for row in rows {
-                if self.eval_pred(expr, &row)? {
-                    kept.push(row);
+            if let Some(pred) = compiled {
+                let mut regs = Registers::default();
+                for row in rows {
+                    if pred.matches(self.catalog, &row, &mut regs)? {
+                        kept.push(row);
+                    }
+                }
+            } else {
+                for row in rows {
+                    if self.eval_pred(expr, &row)? {
+                        kept.push(row);
+                    }
                 }
             }
             return Ok(kept);
         }
         run_chunked(par, &rows, |_, chunk| {
             let mut kept = Vec::new();
-            for row in chunk {
-                if self.eval_pred(expr, row)? {
-                    kept.push(row.clone());
+            if let Some(pred) = compiled {
+                let mut regs = Registers::default();
+                for row in chunk {
+                    if pred.matches(self.catalog, row, &mut regs)? {
+                        kept.push(row.clone());
+                    }
+                }
+            } else {
+                for row in chunk {
+                    if self.eval_pred(expr, row)? {
+                        kept.push(row.clone());
+                    }
                 }
             }
             Ok::<_, SqlError>(kept)
@@ -175,7 +247,7 @@ impl<'a> Executor<'a> {
         } else {
             self.run_nested_loop(stmt, &lowered)?
         };
-        let result = self.finish_select(stmt, rows, None)?;
+        let result = self.finish_select(stmt, rows, None, None)?;
         exec_span.set_rows(result.len() as u64);
         Ok(result)
     }
@@ -228,7 +300,7 @@ impl<'a> Executor<'a> {
         if lowered.unabsorbed.is_empty() {
             for (plan, est) in planned {
                 let rec = AnalyzeRec::new(metrics.clone());
-                let rows = self.exec_term(&plan, &lowered, Some(&rec))?;
+                let rows = self.exec_term(&plan, &lowered, Some(&rec), None)?;
                 all_rows.extend(rows);
                 let actuals = rec.into_nodes();
                 record_operator_totals(&registry, &plan, &actuals);
@@ -255,7 +327,62 @@ impl<'a> Executor<'a> {
                 || self.run_nested_loop(stmt, &lowered),
             )?;
         }
-        let result = self.finish_select(stmt, all_rows, Some(&stages))?;
+        let result = self.finish_select(stmt, all_rows, Some(&stages), None)?;
+        exec_span.set_rows(result.len() as u64);
+        drop(exec_span);
+        let stages = stages.into_stages();
+        let compile_nanos = stages
+            .iter()
+            .find(|s| s.name == "PLAN")
+            .map(|s| s.nanos)
+            .unwrap_or(0);
+        Ok(AnalyzeReport {
+            total: metrics.snapshot().delta(&before),
+            elapsed_nanos: start.elapsed().as_nanos() as u64,
+            result,
+            terms,
+            stages,
+            cached: false,
+            epoch: self.catalog.epoch(),
+            compile_nanos,
+        })
+    }
+
+    /// Execute a prepared (cached) plan with full instrumentation. The
+    /// PLAN stage is absent — bind/optimize already happened at prepare
+    /// time — so the report states `cached` and a zero compile cost.
+    pub fn analyze_prepared(&self, pq: &PreparedQuery) -> Result<AnalyzeReport> {
+        self.trace.lock().expect("trace lock").clear();
+        let metrics = self.catalog.storage().metrics().clone();
+        let registry = self.catalog.storage().registry().clone();
+        let stages = StageRec::new(metrics.clone());
+        let start = Instant::now();
+        let before = metrics.snapshot();
+        let mut exec_span = self.tracer.span("execute", &metrics);
+        self.mark("FROM");
+        let mut terms: Vec<TermReport> = Vec::new();
+        let mut all_rows: Vec<Row> = Vec::new();
+        for (plan, est) in &pq.terms {
+            let rec = AnalyzeRec::new(metrics.clone());
+            let rows = self.exec_term(plan, &pq.lowered, Some(&rec), Some(&pq.preds))?;
+            all_rows.extend(rows);
+            let actuals = rec.into_nodes();
+            record_operator_totals(&registry, plan, &actuals);
+            terms.push(TermReport::build(plan.clone(), est.clone(), actuals));
+        }
+        if terms.len() > 1 {
+            self.mark("WHERE:UNION");
+            all_rows = stages.window(
+                "WHERE:UNION",
+                |r: &Vec<Row>| r.len() as u64,
+                || {
+                    let mut rows = all_rows;
+                    dedupe_bindings(&mut rows);
+                    Ok(rows)
+                },
+            )?;
+        }
+        let result = self.finish_select(&pq.stmt, all_rows, Some(&stages), Some(&pq.proj))?;
         exec_span.set_rows(result.len() as u64);
         drop(exec_span);
         Ok(AnalyzeReport {
@@ -264,6 +391,9 @@ impl<'a> Executor<'a> {
             result,
             terms,
             stages: stages.into_stages(),
+            cached: true,
+            epoch: pq.epoch,
+            compile_nanos: 0,
         })
     }
 
@@ -274,6 +404,7 @@ impl<'a> Executor<'a> {
         stmt: &SelectStmt,
         mut rows: Vec<Row>,
         stages: Option<&StageRec>,
+        proj: Option<&[Option<RowProg>]>,
     ) -> Result<QueryResult> {
         let grouped = !stmt.group_by.is_empty()
             || stmt
@@ -344,11 +475,17 @@ impl<'a> Executor<'a> {
                 |r: &QueryResult| r.len() as u64,
                 || {
                     let columns: Vec<String> = stmt.projection.iter().map(Expr::render).collect();
+                    let mut regs = Registers::default();
                     let mut out_rows = Vec::new();
                     for row in &rows {
                         let mut out = Vec::new();
-                        for p in &stmt.projection {
-                            out.push(self.eval_expr(p, row)?);
+                        for (i, p) in stmt.projection.iter().enumerate() {
+                            let compiled =
+                                proj.and_then(|cols| cols.get(i)).and_then(|c| c.as_ref());
+                            out.push(match compiled {
+                                Some(c) => c.eval(self.catalog, row, &mut regs)?,
+                                None => self.eval_expr(p, row)?,
+                            });
                         }
                         out_rows.push(out);
                     }
@@ -416,7 +553,7 @@ impl<'a> Executor<'a> {
             // Ordinary SELECTs record per-node actuals too: the registry's
             // per-operator lifetime totals come from every execution.
             let rec = AnalyzeRec::new(metrics.clone());
-            let rows = self.exec_term(&term.plan, lowered, Some(&rec))?;
+            let rows = self.exec_term(&term.plan, lowered, Some(&rec), None)?;
             all_rows.extend(rows);
             record_operator_totals(&registry, &term.plan, &rec.into_nodes());
         }
@@ -427,6 +564,127 @@ impl<'a> Executor<'a> {
         Ok(all_rows)
     }
 
+    // ------------------------------------------------------------------
+    // Prepared execution (plan cache)
+    // ------------------------------------------------------------------
+
+    /// Bind, optimize, estimate, and pre-compile a SELECT once, producing
+    /// a plan the session cache can re-execute without touching the parser
+    /// or optimizer. Returns `None` for statements the optimizer's
+    /// single-root model cannot absorb (the nested-loop fallback path) —
+    /// those are executed uncached.
+    ///
+    /// Every Select/IndSel predicate in the plan is pre-parsed, and
+    /// lowered to a register program when the compiling bridge covers it;
+    /// ungrouped projection columns likewise. `epoch` is read after any
+    /// first-use statistics collection (which bumps it), so a cached entry
+    /// stays valid until the next DDL or statistics refresh.
+    pub fn prepare(&self, stmt: &SelectStmt) -> Result<Option<PreparedQuery>> {
+        let metrics = self.catalog.storage().metrics().clone();
+        let registry = self.catalog.storage().registry().clone();
+        let start = Instant::now();
+        let lowered = {
+            let _span = self.tracer.span("bind", &metrics);
+            lower(self.catalog, stmt)?
+        };
+        if !lowered.unabsorbed.is_empty() {
+            return Ok(None);
+        }
+        if self.catalog.stats().class(&lowered.root.class).is_none() {
+            self.catalog.collect_stats()?;
+        }
+        let stats = self.catalog.stats();
+        let optimized = {
+            let _span = self.tracer.span("optimize", &metrics);
+            optimize(&lowered.spec, &stats, &self.config)
+        };
+        let epoch = self.catalog.epoch();
+        let terms: Vec<(PlanSet, Vec<NodeEstimate>)> = optimized
+            .terms
+            .iter()
+            .map(|t| {
+                (
+                    t.plan.clone(),
+                    estimate_plan_set(&t.plan, &stats, &self.config),
+                )
+            })
+            .collect();
+        let var_class: HashMap<String, String> = stmt
+            .from
+            .iter()
+            .map(|f| (f.var.clone(), f.class.clone()))
+            .collect();
+        let mut preds: HashMap<String, PreparedPred> = HashMap::new();
+        for (set, _) in &terms {
+            for plan in set.temps.iter().map(|(_, p)| p).chain([&set.root]) {
+                let mut texts = Vec::new();
+                plan_predicates(plan, &mut texts);
+                for text in texts {
+                    if preds.contains_key(text) {
+                        continue;
+                    }
+                    let stripped = text.strip_prefix("__join__ ").unwrap_or(text);
+                    let expr = parse_expr(stripped)?;
+                    let compiled = if self.config.compiled_predicates {
+                        compile_pred(self.catalog, &var_class, &expr)
+                    } else {
+                        None
+                    };
+                    preds.insert(text.to_string(), PreparedPred { expr, compiled });
+                }
+            }
+        }
+        let grouped = !stmt.group_by.is_empty()
+            || stmt
+                .projection
+                .iter()
+                .any(|e| matches!(e, Expr::Agg { .. }));
+        let proj: Vec<Option<RowProg>> = if grouped || !self.config.compiled_predicates {
+            Vec::new()
+        } else {
+            stmt.projection
+                .iter()
+                .map(|e| compile_proj(self.catalog, &var_class, e))
+                .collect()
+        };
+        let compile_nanos = start.elapsed().as_nanos() as u64;
+        registry.record_compile_ns(compile_nanos);
+        Ok(Some(PreparedQuery {
+            stmt: stmt.clone(),
+            lowered,
+            terms,
+            epoch,
+            preds,
+            proj,
+            compile_nanos,
+        }))
+    }
+
+    /// Execute a prepared plan: no parse, no bind, no optimize. Trace
+    /// marks and per-operator registry totals are identical to an
+    /// uncached run of the same plan.
+    pub fn run_prepared(&self, pq: &PreparedQuery) -> Result<QueryResult> {
+        self.trace.lock().expect("trace lock").clear();
+        let metrics = self.catalog.storage().metrics().clone();
+        let registry = self.catalog.storage().registry().clone();
+        let mut exec_span = self.tracer.span("execute", &metrics);
+        self.mark("FROM");
+        let mut all_rows: Vec<Row> = Vec::new();
+        for (plan, _) in &pq.terms {
+            let rec = AnalyzeRec::new(metrics.clone());
+            let rows = self.exec_term(plan, &pq.lowered, Some(&rec), Some(&pq.preds))?;
+            all_rows.extend(rows);
+            record_operator_totals(&registry, plan, &rec.into_nodes());
+        }
+        if pq.terms.len() > 1 {
+            self.mark("WHERE:UNION");
+            dedupe_bindings(&mut all_rows);
+        }
+        let result = self.finish_select(&pq.stmt, all_rows, None, Some(&pq.proj))?;
+        exec_span.set_rows(result.len() as u64);
+        Ok(result)
+    }
+
     /// Execute one term's plan set: temps in creation order, then the root.
     /// Node ids follow the shared pre-order scheme over `[temps…, root]`.
     fn exec_term(
@@ -434,15 +692,16 @@ impl<'a> Executor<'a> {
         set: &PlanSet,
         lowered: &Lowered,
         rec: Option<&AnalyzeRec>,
+        preds: Option<&HashMap<String, PreparedPred>>,
     ) -> Result<Vec<Row>> {
         let mut temps: HashMap<String, Vec<Row>> = HashMap::new();
         let mut offset = 0usize;
         for (name, plan) in &set.temps {
-            let rows = self.exec_plan_at(plan, offset, lowered, &temps, rec)?;
+            let rows = self.exec_plan_at(plan, offset, lowered, &temps, rec, preds)?;
             offset += plan.subtree_size();
             temps.insert(name.clone(), rows);
         }
-        self.exec_plan_at(&set.root, offset, lowered, &temps, rec)
+        self.exec_plan_at(&set.root, offset, lowered, &temps, rec, preds)
     }
 
     /// Fallback for queries the optimizer's single-root model cannot
@@ -475,7 +734,7 @@ impl<'a> Executor<'a> {
         let _ = lowered;
         if let Some(w) = &stmt.where_clause {
             self.mark("WHERE:SELECT");
-            rows = self.filter_rows(rows, w)?;
+            rows = self.filter_rows(rows, w, None)?;
         }
         Ok(rows)
     }
@@ -490,6 +749,7 @@ impl<'a> Executor<'a> {
     /// Snapshots are taken on this (coordinating) thread: chunk-parallel
     /// operators join their workers before returning, so the window still
     /// covers every page they touch.
+    #[allow(clippy::too_many_arguments)]
     fn exec_plan_at(
         &self,
         plan: &Plan,
@@ -497,15 +757,16 @@ impl<'a> Executor<'a> {
         lowered: &Lowered,
         temps: &HashMap<String, Vec<Row>>,
         rec: Option<&AnalyzeRec>,
+        preds: Option<&HashMap<String, PreparedPred>>,
     ) -> Result<Vec<Row>> {
         if rec.is_none() && !self.tracer.enabled() {
-            return self.exec_plan_node(plan, nid, lowered, temps, rec);
+            return self.exec_plan_node(plan, nid, lowered, temps, rec, preds);
         }
         let metrics = self.catalog.storage().metrics();
         let mut span = self.tracer.span(format!("op:{}", op_kind(plan)), metrics);
         let start = Instant::now();
         let before = rec.map(|r| r.metrics.snapshot());
-        let rows = self.exec_plan_node(plan, nid, lowered, temps, rec)?;
+        let rows = self.exec_plan_node(plan, nid, lowered, temps, rec, preds)?;
         span.set_rows(rows.len() as u64);
         if let (Some(r), Some(before)) = (rec, before) {
             r.record(
@@ -518,6 +779,7 @@ impl<'a> Executor<'a> {
         Ok(rows)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_plan_node(
         &self,
         plan: &Plan,
@@ -525,6 +787,7 @@ impl<'a> Executor<'a> {
         lowered: &Lowered,
         temps: &HashMap<String, Vec<Row>>,
         rec: Option<&AnalyzeRec>,
+        preds: Option<&HashMap<String, PreparedPred>>,
     ) -> Result<Vec<Row>> {
         match plan {
             Plan::Bind { class, var } => {
@@ -567,16 +830,26 @@ impl<'a> Executor<'a> {
                 ..
             } => {
                 self.mark("WHERE:SELECT");
-                let expr = parse_expr(predicate)?;
-                let preds = flatten_and(&expr);
+                let prepared = preds.and_then(|m| m.get(predicate.as_str()));
+                let parsed;
+                let expr = match prepared {
+                    Some(p) => &p.expr,
+                    None => {
+                        parsed = parse_expr(predicate)?;
+                        &parsed
+                    }
+                };
+                let conjuncts = flatten_and(expr);
                 let mut oid_set: Option<HashSet<Oid>> = None;
-                for p in &preds {
+                for p in &conjuncts {
                     let oids = self.index_probe(class, p)?;
                     oid_set = Some(match oid_set {
                         None => oids.into_iter().collect(),
                         Some(prev) => oids.into_iter().filter(|o| prev.contains(o)).collect(),
                     });
                 }
+                let compiled = prepared.and_then(|p| p.compiled.as_ref());
+                let mut regs = Registers::default();
                 let mut rows = Vec::new();
                 for oid in oid_set.unwrap_or_default() {
                     let Ok((_, value)) = self.catalog.get_object(oid) else {
@@ -593,7 +866,11 @@ impl<'a> Executor<'a> {
                     // Re-verify: path indexes are rebuilt on demand, so an
                     // entry may be stale; evaluating the predicate on the
                     // fetched object guarantees correct answers regardless.
-                    if self.eval_pred(&expr, &row)? {
+                    let keep = match compiled {
+                        Some(c) => c.matches(self.catalog, &row, &mut regs)?,
+                        None => self.eval_pred(expr, &row)?,
+                    };
+                    if keep {
                         rows.push(row);
                     }
                 }
@@ -601,11 +878,16 @@ impl<'a> Executor<'a> {
                 Ok(rows)
             }
             Plan::Select { input, predicate } => {
-                let rows = self.exec_plan_at(input, nid + 1, lowered, temps, rec)?;
+                let rows = self.exec_plan_at(input, nid + 1, lowered, temps, rec, preds)?;
                 self.mark("WHERE:SELECT");
-                let text = predicate.strip_prefix("__join__ ").unwrap_or(predicate);
-                let expr = parse_expr(text)?;
-                self.filter_rows(rows, &expr)
+                match preds.and_then(|m| m.get(predicate.as_str())) {
+                    Some(p) => self.filter_rows(rows, &p.expr, p.compiled.as_ref()),
+                    None => {
+                        let text = predicate.strip_prefix("__join__ ").unwrap_or(predicate);
+                        let expr = parse_expr(text)?;
+                        self.filter_rows(rows, &expr, None)
+                    }
+                }
             }
             Plan::Join {
                 left,
@@ -613,10 +895,10 @@ impl<'a> Executor<'a> {
                 method,
                 condition,
             } => {
-                let left_rows = self.exec_plan_at(left, nid + 1, lowered, temps, rec)?;
+                let left_rows = self.exec_plan_at(left, nid + 1, lowered, temps, rec, preds)?;
                 let right_nid = nid + 1 + left.subtree_size();
                 let out = self.exec_join(
-                    left_rows, right, right_nid, *method, condition, lowered, temps, rec,
+                    left_rows, right, right_nid, *method, condition, lowered, temps, rec, preds,
                 )?;
                 self.mark("WHERE:JOIN");
                 Ok(out)
@@ -625,7 +907,7 @@ impl<'a> Executor<'a> {
                 let mut all = Vec::new();
                 let mut kid = nid + 1;
                 for p in inputs {
-                    all.extend(self.exec_plan_at(p, kid, lowered, temps, rec)?);
+                    all.extend(self.exec_plan_at(p, kid, lowered, temps, rec, preds)?);
                     kid += p.subtree_size();
                 }
                 self.mark("WHERE:UNION");
@@ -696,6 +978,7 @@ impl<'a> Executor<'a> {
         lowered: &Lowered,
         temps: &HashMap<String, Vec<Row>>,
         rec: Option<&AnalyzeRec>,
+        preds: Option<&HashMap<String, PreparedPred>>,
     ) -> Result<Vec<Row>> {
         // Condition shape: "x.attr = y.self".
         let (lhs, rhs) = condition
@@ -716,19 +999,23 @@ impl<'a> Executor<'a> {
             },
             Plan::Select { input, predicate } => {
                 if let Plan::Bind { class, .. } = &**input {
+                    let filter = match preds.and_then(|m| m.get(predicate.as_str())) {
+                        Some(p) => p.expr.clone(),
+                        None => parse_expr(
+                            predicate.strip_prefix("__join__ ").unwrap_or(predicate),
+                        )?,
+                    };
                     RightSideImpl::Class {
                         class: class.clone(),
-                        filter: Some(parse_expr(
-                            predicate.strip_prefix("__join__ ").unwrap_or(predicate),
-                        )?),
+                        filter: Some(filter),
                     }
                 } else {
-                    let rows = self.exec_plan_at(right, right_nid, lowered, temps, rec)?;
+                    let rows = self.exec_plan_at(right, right_nid, lowered, temps, rec, preds)?;
                     RightSideImpl::Rows(key_rows_by(&rows, y_var))
                 }
             }
             other => {
-                let rows = self.exec_plan_at(other, right_nid, lowered, temps, rec)?;
+                let rows = self.exec_plan_at(other, right_nid, lowered, temps, rec, preds)?;
                 RightSideImpl::Rows(key_rows_by(&rows, y_var))
             }
         };

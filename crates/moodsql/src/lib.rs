@@ -10,6 +10,7 @@
 pub mod analyze;
 pub mod ast;
 pub mod binder;
+pub(crate) mod compiled;
 pub mod cursor;
 pub mod error;
 pub mod exec;
@@ -25,16 +26,182 @@ pub use ast::{
 pub use binder::{classify, lower, Lowered, StmtKind};
 pub use cursor::Cursor;
 pub use error::{Result, SqlError};
-pub use exec::{BoundObj, Executor, QueryResult, Row};
+pub use exec::{BoundObj, Executor, PreparedQuery, QueryResult, Row};
 pub use parser::{parse, parse_expr};
 
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
 use mood_catalog::{Catalog, ClassBuilder, IndexKind, MethodSig};
 use mood_datamodel::Value;
 use mood_funcman::FunctionManager;
 use mood_optimizer::OptimizerConfig;
-use mood_storage::AccessHint;
+use mood_storage::{AccessHint, MetricsRegistry};
+
+/// Plan cache shard count: keeps lock contention low when a session is
+/// shared behind a facade mutex and queried from many threads in turn.
+const PLAN_CACHE_SHARDS: usize = 8;
+/// Total cached plans across all shards.
+const PLAN_CACHE_CAPACITY: usize = 128;
+
+/// A bounded, sharded LRU of prepared plans keyed by normalized SQL text.
+///
+/// Entries carry the catalog epoch they were built under ([`PreparedQuery::
+/// epoch`]); a lookup under a different epoch removes the entry (counted as
+/// an invalidation) and reports a miss, so no stale plan ever executes.
+/// DML does not bump the epoch — plans reference schema, statistics and
+/// indexes, never row contents — while DDL, index builds and statistics
+/// refreshes all do.
+struct PlanCache {
+    shards: Vec<Mutex<CacheShard>>,
+    per_shard: usize,
+}
+
+#[derive(Default)]
+struct CacheShard {
+    map: HashMap<String, CacheEntry>,
+    /// Monotonic use counter; entry with the smallest stamp is the LRU.
+    tick: u64,
+}
+
+struct CacheEntry {
+    prepared: Arc<PreparedQuery>,
+    last_used: u64,
+}
+
+/// A cache consultation's outcome.
+enum Lookup {
+    /// Valid entry found; parse/bind/optimize were all skipped.
+    Hit(Arc<PreparedQuery>),
+    /// Nothing valid cached; the statement was prepared and inserted.
+    Miss(Arc<PreparedQuery>),
+    /// The statement cannot be prepared (nested-loop fallback shape).
+    Uncachable,
+}
+
+impl PlanCache {
+    fn new() -> PlanCache {
+        PlanCache {
+            shards: (0..PLAN_CACHE_SHARDS)
+                .map(|_| Mutex::new(CacheShard::default()))
+                .collect(),
+            per_shard: PLAN_CACHE_CAPACITY.div_ceil(PLAN_CACHE_SHARDS),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<CacheShard> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// A valid entry under the current epoch, or `None`. A stale entry is
+    /// removed here and counted as an invalidation (the caller then counts
+    /// the re-prepare as a miss, so invalidations ⊆ misses).
+    fn get(&self, key: &str, epoch: u64, registry: &MetricsRegistry) -> Option<Arc<PreparedQuery>> {
+        let mut shard = self.shard(key).lock().expect("plan cache lock");
+        shard.tick += 1;
+        let tick = shard.tick;
+        let stale = match shard.map.get_mut(key) {
+            Some(entry) if entry.prepared.epoch == epoch => {
+                entry.last_used = tick;
+                registry.record_plan_cache_hit();
+                return Some(entry.prepared.clone());
+            }
+            Some(_) => true,
+            None => false,
+        };
+        if stale {
+            shard.map.remove(key);
+            registry.record_plan_cache_invalidation();
+        }
+        None
+    }
+
+    fn insert(&self, key: String, pq: Arc<PreparedQuery>, registry: &MetricsRegistry) {
+        let mut shard = self.shard(&key).lock().expect("plan cache lock");
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.map.len() >= self.per_shard && !shard.map.contains_key(&key) {
+            let victim = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                shard.map.remove(&victim);
+                registry.record_plan_cache_eviction();
+            }
+        }
+        shard.map.insert(
+            key,
+            CacheEntry {
+                prepared: pq,
+                last_used: tick,
+            },
+        );
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("plan cache lock");
+            shard.map.clear();
+        }
+    }
+}
+
+/// Collapse whitespace runs to single spaces outside single-quoted string
+/// literals and trim the ends. Case is preserved — MOODSQL identifiers and
+/// string literals are case-sensitive, so only layout differences fold
+/// onto one cache entry.
+fn normalize_sql(sql: &str) -> String {
+    let mut out = String::with_capacity(sql.len());
+    let mut in_str = false;
+    let mut pending_space = false;
+    for ch in sql.chars() {
+        if in_str {
+            out.push(ch);
+            if ch == '\'' {
+                in_str = false;
+            }
+            continue;
+        }
+        if ch.is_whitespace() {
+            pending_space = !out.is_empty();
+            continue;
+        }
+        if pending_space {
+            out.push(' ');
+            pending_space = false;
+        }
+        if ch == '\'' {
+            in_str = true;
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Split a normalized statement into its cache key and whether it is the
+/// instrumented (`EXPLAIN ANALYZE`) form. The prefix is stripped from the
+/// key so the instrumented and plain forms of a SELECT share one cached
+/// plan.
+fn split_analyze(norm: &str) -> (&str, bool) {
+    const PREFIX: &str = "explain analyze ";
+    if norm.len() > PREFIX.len() && norm[..PREFIX.len()].eq_ignore_ascii_case(PREFIX) {
+        (&norm[PREFIX.len()..], true)
+    } else {
+        (norm, false)
+    }
+}
+
+/// Cache key for a statement: normalized text with a leading `EXPLAIN
+/// ANALYZE` stripped.
+fn plan_cache_key(sql: &str) -> String {
+    let norm = normalize_sql(sql);
+    split_analyze(&norm).0.to_string()
+}
 
 /// What a statement produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -60,6 +227,9 @@ pub struct Session {
     /// The open explicit transaction (`BEGIN` … `COMMIT`/`ROLLBACK`), if
     /// any. Bare DML statements outside one autocommit.
     txn: Option<mood_storage::TxnId>,
+    /// Prepared plans keyed by normalized SQL text (see [`PlanCache`]).
+    plan_cache: PlanCache,
+    plan_cache_enabled: bool,
 }
 
 impl Session {
@@ -71,18 +241,24 @@ impl Session {
             tracer: mood_trace::Tracer::new(),
             last_trace: Vec::new(),
             txn: None,
+            plan_cache: PlanCache::new(),
+            plan_cache_enabled: true,
         }
     }
 
     pub fn with_config(mut self, config: OptimizerConfig) -> Session {
-        self.config = config;
+        self.set_config(config);
         self
     }
 
     /// Replace the optimizer configuration in place — unlike rebuilding the
     /// session, this keeps an open transaction (and the last trace) intact.
+    /// Cached plans were built under the old configuration, so the plan
+    /// cache is cleared (quietly: a config change is not an epoch
+    /// invalidation).
     pub fn set_config(&mut self, config: OptimizerConfig) {
         self.config = config;
+        self.plan_cache.clear();
     }
 
     /// Set the worker count used by the chunk-parallel execution path.
@@ -92,6 +268,28 @@ impl Session {
     /// byte-identical either way.
     pub fn set_parallelism(&mut self, parallelism: usize) {
         self.config = self.config.clone().with_parallelism(parallelism);
+        self.plan_cache.clear();
+    }
+
+    /// Toggle the session plan cache. Disabling clears it, so re-enabling
+    /// starts cold.
+    pub fn set_plan_cache_enabled(&mut self, on: bool) {
+        self.plan_cache_enabled = on;
+        if !on {
+            self.plan_cache.clear();
+        }
+    }
+
+    /// Toggle compiled predicate/projection evaluation (on by default).
+    /// Cached plans embed their compiled programs, so the cache is cleared.
+    pub fn set_compiled_predicates(&mut self, on: bool) {
+        self.config = self.config.clone().with_compiled_predicates(on);
+        self.plan_cache.clear();
+    }
+
+    /// Drop every cached plan (counters untouched).
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.clear();
     }
 
     /// The currently configured worker count.
@@ -115,15 +313,96 @@ impl Session {
         &self.tracer
     }
 
-    /// Parse and execute one statement.
+    /// Parse and execute one statement. SELECT and EXPLAIN ANALYZE go
+    /// through the session plan cache (keyed by the normalized statement
+    /// text) unless it is disabled; everything else takes the ordinary
+    /// statement path.
     pub fn execute(&mut self, sql: &str) -> Result<Answer> {
+        // Warm fast path: a cached plan needs no AST, so the cache is
+        // consulted on the normalized text before anything is parsed. Only
+        // SELECT / EXPLAIN ANALYZE texts are ever inserted, so a hit fully
+        // classifies the statement.
+        if self.plan_cache_enabled {
+            let norm = normalize_sql(sql);
+            let (key, analyze) = split_analyze(&norm);
+            let registry = self.catalog.storage().registry().clone();
+            if let Some(pq) = self.plan_cache.get(key, self.catalog.epoch(), &registry) {
+                let ex = Executor::new(&self.catalog, &self.funcman)
+                    .with_config(self.config.clone())
+                    .with_tracer(self.tracer.clone());
+                let answer = if analyze {
+                    Answer::Plan(ex.analyze_prepared(&pq)?.render())
+                } else {
+                    Answer::Rows(ex.run_prepared(&pq)?)
+                };
+                self.last_trace = ex.trace();
+                return Ok(answer);
+            }
+        }
         let stmt = {
             let _span = self
                 .tracer
                 .span("parse", self.catalog.storage().metrics());
             parse(sql)?
         };
+        if self.plan_cache_enabled {
+            match &stmt {
+                Statement::Select(s) => return self.run_select_cached(sql, s),
+                Statement::ExplainAnalyze(s) => return self.run_analyze_cached(sql, s),
+                _ => {}
+            }
+        }
         self.execute_statement(&stmt)
+    }
+
+    /// Consult the plan cache under the current catalog epoch; on a miss,
+    /// prepare and insert. Counter discipline: hits + misses = cacheable
+    /// lookups; a stale entry adds an invalidation to its miss; statements
+    /// the preparer cannot absorb count nothing (they are not cacheable).
+    fn lookup_or_prepare(&self, key: &str, stmt: &SelectStmt, ex: &Executor<'_>) -> Result<Lookup> {
+        let registry = self.catalog.storage().registry().clone();
+        let epoch = self.catalog.epoch();
+        if let Some(pq) = self.plan_cache.get(key, epoch, &registry) {
+            return Ok(Lookup::Hit(pq));
+        }
+        match ex.prepare(stmt)? {
+            Some(pq) => {
+                registry.record_plan_cache_miss();
+                let pq = Arc::new(pq);
+                self.plan_cache.insert(key.to_string(), pq.clone(), &registry);
+                Ok(Lookup::Miss(pq))
+            }
+            None => Ok(Lookup::Uncachable),
+        }
+    }
+
+    fn run_select_cached(&mut self, sql: &str, s: &SelectStmt) -> Result<Answer> {
+        let key = plan_cache_key(sql);
+        let ex = Executor::new(&self.catalog, &self.funcman)
+            .with_config(self.config.clone())
+            .with_tracer(self.tracer.clone());
+        let rows = match self.lookup_or_prepare(&key, s, &ex)? {
+            Lookup::Hit(pq) | Lookup::Miss(pq) => ex.run_prepared(&pq)?,
+            Lookup::Uncachable => ex.run_select(s)?,
+        };
+        self.last_trace = ex.trace();
+        Ok(Answer::Rows(rows))
+    }
+
+    fn run_analyze_cached(&mut self, sql: &str, s: &SelectStmt) -> Result<Answer> {
+        let key = plan_cache_key(sql);
+        let ex = Executor::new(&self.catalog, &self.funcman)
+            .with_config(self.config.clone())
+            .with_tracer(self.tracer.clone());
+        let report = match self.lookup_or_prepare(&key, s, &ex)? {
+            Lookup::Hit(pq) => ex.analyze_prepared(&pq)?,
+            // A cold EXPLAIN ANALYZE reports the fresh path — including
+            // the PLAN stage's page accounting — while the prepared plan
+            // stays cached for the next execution.
+            Lookup::Miss(_) | Lookup::Uncachable => ex.analyze(s)?,
+        };
+        self.last_trace = ex.trace();
+        Ok(Answer::Plan(report.render()))
     }
 
     /// Execute a SELECT and wrap the result in a cursor.

@@ -226,6 +226,10 @@ pub struct OptimizerConfig {
     pub params: PhysicalParams,
     pub cpu_cost: f64,
     pub execution: ExecutionConfig,
+    /// Lower WHERE predicates and projections into flat register programs
+    /// (the Function Manager's compile-once discipline applied to queries).
+    /// Plan choice is unaffected; only the evaluation strategy changes.
+    pub compiled_predicates: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -234,6 +238,7 @@ impl Default for OptimizerConfig {
             params: Disk::salzberg_1988(),
             cpu_cost: DEFAULT_CPU_COST,
             execution: ExecutionConfig::default(),
+            compiled_predicates: true,
         }
     }
 }
@@ -244,12 +249,19 @@ impl OptimizerConfig {
             params: Disk::paper_calibrated(),
             cpu_cost: DEFAULT_CPU_COST,
             execution: ExecutionConfig::default(),
+            compiled_predicates: true,
         }
     }
 
     /// The same config with the given operator parallelism.
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.execution = ExecutionConfig::with_parallelism(parallelism);
+        self
+    }
+
+    /// The same config with compiled predicate/projection evaluation toggled.
+    pub fn with_compiled_predicates(mut self, on: bool) -> Self {
+        self.compiled_predicates = on;
         self
     }
 }

@@ -49,7 +49,7 @@ pub use lock::{LockManager, LockMode, OwnerId};
 pub use metrics::{AccessHint, AccessKind, DiskMetrics, MetricsSnapshot, PhysicalParams};
 pub use oid::{FileId, Oid, PageId, SlotId};
 pub use page::{Page, SlottedPage, PAGE_SIZE};
-pub use registry::{EngineMetrics, MetricsRegistry, OperatorTotals};
+pub use registry::{EngineMetrics, MetricsRegistry, OperatorTotals, PlanCacheStats};
 pub use wal::{FileLog, LogStore, MemLog, TxnId, Wal, WalStats};
 
 use std::collections::HashMap;

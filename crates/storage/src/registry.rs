@@ -33,6 +33,18 @@ pub struct OperatorTotals {
     pub nanos: u64,
 }
 
+/// Plan-cache lifetime counters. `hits + misses` equals the number of
+/// cacheable-statement lookups; `invalidations` counts the subset of misses
+/// caused by an epoch bump evicting a stale entry (so it never exceeds
+/// `misses`), and `evictions` counts capacity-driven LRU removals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub invalidations: u64,
+}
+
 /// Aggregates engine-wide counters; owned by the [`StorageManager`] and
 /// shared with the query layer.
 ///
@@ -45,6 +57,13 @@ pub struct MetricsRegistry {
     /// locks / checked-out pages) — shared with the pool that bumps it.
     buffer_wait_ns: Arc<AtomicU64>,
     operators: Mutex<BTreeMap<String, OperatorTotals>>,
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+    plan_cache_evictions: AtomicU64,
+    plan_cache_invalidations: AtomicU64,
+    /// Nanoseconds spent lowering predicates/projections to register
+    /// programs and binding/optimizing cacheable plans.
+    compile_ns: AtomicU64,
 }
 
 /// Point-in-time view of every engine counter, as rendered by
@@ -62,6 +81,10 @@ pub struct EngineMetrics {
     pub lock_waits: u64,
     /// Lock acquires that gave up at the deadlock timeout.
     pub lock_timeouts: u64,
+    /// Plan-cache hit/miss/eviction/invalidation totals.
+    pub plan_cache: PlanCacheStats,
+    /// Nanoseconds spent compiling cacheable plans and register programs.
+    pub compile_ns: u64,
     /// Per-operator execution totals, sorted by operator name.
     pub operators: Vec<(String, OperatorTotals)>,
 }
@@ -95,6 +118,14 @@ impl EngineMetrics {
             ("wal.recovered_pages", self.wal.recovered.to_string()),
             ("lock.waits", self.lock_waits.to_string()),
             ("lock.timeouts", self.lock_timeouts.to_string()),
+            ("plan_cache.hits", self.plan_cache.hits.to_string()),
+            ("plan_cache.misses", self.plan_cache.misses.to_string()),
+            ("plan_cache.evictions", self.plan_cache.evictions.to_string()),
+            (
+                "plan_cache.invalidations",
+                self.plan_cache.invalidations.to_string(),
+            ),
+            ("compile.ns", self.compile_ns.to_string()),
         ]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v))
@@ -128,6 +159,11 @@ impl MetricsRegistry {
             locks,
             buffer_wait_ns,
             operators: Mutex::new(BTreeMap::new()),
+            plan_cache_hits: AtomicU64::new(0),
+            plan_cache_misses: AtomicU64::new(0),
+            plan_cache_evictions: AtomicU64::new(0),
+            plan_cache_invalidations: AtomicU64::new(0),
+            compile_ns: AtomicU64::new(0),
         }
     }
 
@@ -146,6 +182,31 @@ impl MetricsRegistry {
         t.nanos += nanos;
     }
 
+    /// A plan-cache lookup served from the cache.
+    pub fn record_plan_cache_hit(&self) {
+        self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A cacheable statement that had to be compiled fresh.
+    pub fn record_plan_cache_miss(&self) {
+        self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An entry dropped to make room (LRU capacity eviction).
+    pub fn record_plan_cache_eviction(&self) {
+        self.plan_cache_evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An entry dropped because the catalog epoch moved past it.
+    pub fn record_plan_cache_invalidation(&self) {
+        self.plan_cache_invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add plan/predicate compilation time to the lifetime total.
+    pub fn record_compile_ns(&self, ns: u64) {
+        self.compile_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
     /// Snapshot every counter the registry aggregates.
     pub fn snapshot(&self) -> EngineMetrics {
         EngineMetrics {
@@ -154,6 +215,13 @@ impl MetricsRegistry {
             buffer_wait_ns: self.buffer_wait_ns.load(Ordering::Relaxed),
             lock_waits: self.locks.wait_count(),
             lock_timeouts: self.locks.timeout_count(),
+            plan_cache: PlanCacheStats {
+                hits: self.plan_cache_hits.load(Ordering::Relaxed),
+                misses: self.plan_cache_misses.load(Ordering::Relaxed),
+                evictions: self.plan_cache_evictions.load(Ordering::Relaxed),
+                invalidations: self.plan_cache_invalidations.load(Ordering::Relaxed),
+            },
+            compile_ns: self.compile_ns.load(Ordering::Relaxed),
             operators: self
                 .operators
                 .lock()
@@ -194,6 +262,37 @@ mod tests {
         assert_eq!(snap.operators.len(), 2);
         // BTreeMap iteration: JOIN(HJ) sorts before SELECT.
         assert_eq!(snap.operators[0].0, "JOIN(HJ)");
+    }
+
+    #[test]
+    fn plan_cache_counters_accumulate() {
+        let r = registry();
+        r.record_plan_cache_miss();
+        r.record_plan_cache_miss();
+        r.record_plan_cache_hit();
+        r.record_plan_cache_eviction();
+        r.record_plan_cache_invalidation();
+        r.record_compile_ns(1_500);
+        r.record_compile_ns(500);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.plan_cache,
+            PlanCacheStats {
+                hits: 1,
+                misses: 2,
+                evictions: 1,
+                invalidations: 1,
+            }
+        );
+        assert_eq!(snap.compile_ns, 2_000);
+        let rows = snap.rows();
+        assert!(rows.iter().any(|(k, v)| k == "plan_cache.hits" && v == "1"));
+        assert!(rows.iter().any(|(k, v)| k == "plan_cache.misses" && v == "2"));
+        assert!(rows.iter().any(|(k, v)| k == "plan_cache.evictions" && v == "1"));
+        assert!(rows
+            .iter()
+            .any(|(k, v)| k == "plan_cache.invalidations" && v == "1"));
+        assert!(rows.iter().any(|(k, v)| k == "compile.ns" && v == "2000"));
     }
 
     #[test]

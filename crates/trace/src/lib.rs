@@ -46,6 +46,9 @@ pub trait Subscriber: Send + Sync {
 #[derive(Default)]
 struct TracerInner {
     subscribers: Mutex<Vec<Arc<dyn Subscriber>>>,
+    /// Subscriber count mirrored outside the mutex so the hot path can
+    /// test "is anyone listening?" with one atomic load.
+    active: AtomicUsize,
     depth: AtomicUsize,
 }
 
@@ -61,31 +64,47 @@ impl Tracer {
         Self::default()
     }
 
-    /// Attach a subscriber; it sees every span finished after this call.
+    /// Attach a subscriber; it sees every span *opened* after this call
+    /// (a span opened while no subscriber was attached records nothing).
     pub fn subscribe(&self, sub: Arc<dyn Subscriber>) {
         self.inner.subscribers.lock().push(sub);
+        self.inner.active.fetch_add(1, Ordering::Release);
     }
 
     /// True when at least one subscriber is attached — callers may skip
     /// span bookkeeping entirely when tracing is off.
     pub fn enabled(&self) -> bool {
-        !self.inner.subscribers.lock().is_empty()
+        self.inner.active.load(Ordering::Acquire) > 0
     }
 
     /// Open a span. The span measures the `metrics` delta and wall-clock
     /// time from now until it is dropped (or [`Span::finish`]ed).
+    ///
+    /// With no subscriber attached the span is inert: no counter snapshot
+    /// is taken and nothing is dispatched on drop, so tracing costs one
+    /// atomic load per span on the query hot path.
     pub fn span(&self, name: impl Into<String>, metrics: &DiskMetrics) -> Span {
-        let depth = self.inner.depth.fetch_add(1, Ordering::Relaxed);
+        let recording = self.enabled();
+        let depth = if recording {
+            self.inner.depth.fetch_add(1, Ordering::Relaxed)
+        } else {
+            0
+        };
         Span {
             tracer: self.clone(),
-            name: name.into(),
+            name: if recording { name.into() } else { String::new() },
             depth,
             attrs: Vec::new(),
             rows: None,
             metrics: metrics.clone(),
-            start_snapshot: metrics.snapshot(),
+            start_snapshot: if recording {
+                metrics.snapshot()
+            } else {
+                MetricsSnapshot::default()
+            },
             start: Instant::now(),
             finished: false,
+            recording,
         }
     }
 
@@ -125,6 +144,10 @@ pub struct Span {
     start_snapshot: MetricsSnapshot,
     start: Instant,
     finished: bool,
+    /// False when the span was opened with no subscriber attached: emit
+    /// builds an empty record and skips dispatch (and depth bookkeeping,
+    /// which was never incremented).
+    recording: bool,
 }
 
 impl Span {
@@ -145,6 +168,16 @@ impl Span {
 
     fn emit(&mut self) -> SpanRecord {
         self.finished = true;
+        if !self.recording {
+            return SpanRecord {
+                name: std::mem::take(&mut self.name),
+                depth: self.depth,
+                attrs: std::mem::take(&mut self.attrs),
+                rows: self.rows,
+                delta: MetricsSnapshot::default(),
+                elapsed: self.start.elapsed(),
+            };
+        }
         let record = SpanRecord {
             name: std::mem::take(&mut self.name),
             depth: self.depth,
