@@ -467,6 +467,11 @@ impl Session {
                 StmtKind::Query => self.run_statement(stmt),
                 kind => {
                     let sm = self.catalog.storage().clone();
+                    // A degraded engine (persistent WAL or write-back
+                    // failure) refuses all writes until healed.
+                    sm.health()
+                        .check_writable()
+                        .map_err(|e| SqlError::Exec(e.to_string()))?;
                     if self.txn.is_some() {
                         if kind == StmtKind::Ddl {
                             return Err(SqlError::Exec(
@@ -475,8 +480,11 @@ impl Session {
                                     .into(),
                             ));
                         }
+                        let owner = self.txn.unwrap();
                         sm.stmt_begin();
-                        match self.run_statement(stmt) {
+                        match Self::lock_dml_class(&sm, owner, stmt)
+                            .and_then(|()| self.run_statement(stmt))
+                        {
                             Ok(a) => {
                                 sm.stmt_end();
                                 Ok(a)
@@ -488,7 +496,9 @@ impl Session {
                         }
                     } else {
                         let txn = sm.txn_begin();
-                        match self.run_statement(stmt) {
+                        match Self::lock_dml_class(&sm, txn, stmt)
+                            .and_then(|()| self.run_statement(stmt))
+                        {
                             Ok(a) => match sm.txn_commit(txn) {
                                 Ok(()) => Ok(a),
                                 Err(e) => {
@@ -508,6 +518,33 @@ impl Session {
                 }
             },
         }
+    }
+
+    /// Take a class-level exclusive lock before a DML statement touches
+    /// pages. Lock owners are transaction ids, so locks persist across the
+    /// statements of an explicit transaction and are released by the storage
+    /// manager at commit/rollback. A deadlock detected here surfaces as an
+    /// error on the victim's statement — inside an explicit transaction that
+    /// rolls back just the statement (savepoint), and the transaction
+    /// survives to retry or commit its earlier work.
+    fn lock_dml_class(
+        sm: &mood_storage::StorageManager,
+        owner: mood_storage::OwnerId,
+        stmt: &Statement,
+    ) -> Result<()> {
+        let class = match stmt {
+            Statement::NewObject { class, .. }
+            | Statement::Delete { class, .. }
+            | Statement::Update { class, .. } => class,
+            _ => return Ok(()),
+        };
+        sm.locks()
+            .acquire(
+                owner,
+                &format!("class:{class}"),
+                mood_storage::LockMode::Exclusive,
+            )
+            .map_err(|e| SqlError::Exec(e.to_string()))
     }
 
     /// After a rolled-back DDL autocommit, the pages are back to their old

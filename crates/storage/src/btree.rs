@@ -16,7 +16,7 @@ use crate::buffer::BufferPool;
 use crate::error::{Result, StorageError};
 use crate::metrics::AccessKind;
 use crate::oid::{FileId, Oid, PageId};
-use crate::page::{Page, PAGE_SIZE};
+use crate::page::{Page, PAGE_SIZE, PAGE_USABLE};
 
 const TAG_META: u8 = 0;
 const TAG_LEAF: u8 = 1;
@@ -248,6 +248,7 @@ impl BTree {
     fn load_meta(&self) -> Result<Meta> {
         self.pool
             .with_page(self.file, PageId(0), AccessKind::Index, Meta::read)?
+            .map_err(|e| e.locate(self.file, PageId(0)))
     }
 
     fn store_meta(&self, meta: &Meta) -> Result<()> {
@@ -258,10 +259,11 @@ impl BTree {
     fn load_node(&self, pid: PageId) -> Result<Node> {
         self.pool
             .with_page(self.file, pid, AccessKind::Index, Node::read)?
+            .map_err(|e| e.locate(self.file, pid))
     }
 
     fn store_node(&self, pid: PageId, node: &Node) -> Result<()> {
-        debug_assert!(node.serialized_size() <= PAGE_SIZE);
+        debug_assert!(node.serialized_size() <= PAGE_USABLE);
         self.pool
             .with_page_mut(self.file, pid, AccessKind::Index, |p| node.write(p))
     }
@@ -313,7 +315,7 @@ impl BTree {
                 let pos = entries.partition_point(|(k, o)| (k.as_slice(), *o) < (key, oid));
                 entries.insert(pos, (key.to_vec(), oid));
                 let node = Node::Leaf { entries, next };
-                if node.serialized_size() <= PAGE_SIZE {
+                if node.serialized_size() <= PAGE_USABLE {
                     self.store_node(pid, &node)?;
                     return Ok(None);
                 }
@@ -350,7 +352,7 @@ impl BTree {
                 keys.insert(idx, sep);
                 children.insert(idx + 1, right);
                 let node = Node::Internal { keys, children };
-                if node.serialized_size() <= PAGE_SIZE {
+                if node.serialized_size() <= PAGE_USABLE {
                     self.store_node(pid, &node)?;
                     return Ok(None);
                 }
@@ -430,9 +432,11 @@ impl BTree {
         };
         loop {
             let Node::Leaf { entries, next } = self.load_node(pid)? else {
-                return Err(StorageError::Corrupt(
-                    "descend ended on internal node".into(),
-                ));
+                return Err(StorageError::CorruptAt {
+                    file: self.file,
+                    page: pid,
+                    detail: "descend ended on internal node".into(),
+                });
             };
             for (k, oid) in &entries {
                 if let Some(lo) = lo {
@@ -474,9 +478,11 @@ impl BTree {
         let mut pid = self.descend_left(key)?;
         loop {
             let Node::Leaf { mut entries, next } = self.load_node(pid)? else {
-                return Err(StorageError::Corrupt(
-                    "descend ended on internal node".into(),
-                ));
+                return Err(StorageError::CorruptAt {
+                    file: self.file,
+                    page: pid,
+                    detail: "descend ended on internal node".into(),
+                });
             };
             if entries.first().is_some_and(|(k, _)| k.as_slice() > key) {
                 return Ok(false);
@@ -506,7 +512,7 @@ impl BTree {
         let meta = self.load_meta()?;
         let keysize = meta.key_bytes.checked_div(meta.entries).unwrap_or(0) as u32;
         let entry = 2 + keysize as usize + Oid::ENCODED_LEN;
-        let fanout = ((PAGE_SIZE - NODE_HEADER) / entry.max(1)).max(2) as u32;
+        let fanout = ((PAGE_USABLE - NODE_HEADER) / entry.max(1)).max(2) as u32;
         Ok(BTreeStats {
             levels: meta.levels,
             leaves: meta.leaves,

@@ -52,6 +52,76 @@ use crate::metrics::{AccessKind, DiskMetrics, MetricsSnapshot};
 use crate::oid::{FileId, PageId};
 use crate::page::Page;
 
+/// Supplies a known-good image of a page (typically the last committed
+/// after-image in the WAL) when a disk read fails checksum verification.
+/// `Ok(None)` means the source has no image for the page — corruption then
+/// surfaces as [`StorageError::PageCorrupt`].
+pub type PageRepairer = Box<dyn Fn(FileId, PageId) -> Result<Option<Page>> + Send + Sync>;
+
+/// Fault-tolerance state shared between a [`BufferPool`], its owning
+/// storage manager, and the metrics registry.
+///
+/// *Degraded mode*: a page write-back or WAL-append failure that survives
+/// the retry layer means the engine can no longer guarantee durability, so
+/// it flips to read-only — reads keep working from cache/disk, writes are
+/// refused with [`StorageError::Degraded`] until [`heal`](Self::heal). The
+/// first failure's reason is kept (later failures are symptoms).
+#[derive(Debug, Default)]
+pub struct PoolHealth {
+    degraded: std::sync::atomic::AtomicBool,
+    reason: Mutex<String>,
+    page_repairs: AtomicU64,
+}
+
+impl PoolHealth {
+    /// Is the engine refusing writes?
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// Why the engine degraded (empty when healthy).
+    pub fn reason(&self) -> String {
+        self.reason.lock().clone()
+    }
+
+    /// Flip to read-only. The first caller's reason wins; repeat failures
+    /// while already degraded are dropped.
+    pub fn mark_degraded(&self, reason: &str) {
+        let mut r = self.reason.lock();
+        if !self.degraded.swap(true, Ordering::AcqRel) {
+            *r = reason.to_string();
+        }
+    }
+
+    /// Clear degraded mode (operator intervention / tests after the
+    /// underlying fault is fixed).
+    pub fn heal(&self) {
+        let mut r = self.reason.lock();
+        r.clear();
+        self.degraded.store(false, Ordering::Release);
+    }
+
+    /// Refuse the operation if degraded.
+    pub fn check_writable(&self) -> Result<()> {
+        if self.is_degraded() {
+            Err(StorageError::Degraded {
+                reason: self.reason(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Pages reconstructed from the WAL after a checksum mismatch.
+    pub fn page_repairs(&self) -> u64 {
+        self.page_repairs.load(Ordering::Relaxed)
+    }
+
+    fn record_repair(&self) {
+        self.page_repairs.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 /// Largest readahead batch (pages); the effective window is also capped at
 /// half the smallest shard so prefetched pages cannot thrash tiny pools.
 const MAX_READAHEAD: usize = 8;
@@ -198,6 +268,12 @@ pub struct BufferPool {
     wait_ns: Arc<AtomicU64>,
     /// Readahead window in pages; 0 disables prefetching (tiny pools).
     readahead: u32,
+    /// Degraded-mode flag + repair counter, shared with the storage
+    /// manager and the metrics registry.
+    health: Arc<PoolHealth>,
+    /// WAL-backed single-page repair hook; installed by the storage
+    /// manager after recovery (plain pools read pages as-is).
+    repairer: Mutex<Option<PageRepairer>>,
 }
 
 thread_local! {
@@ -239,6 +315,8 @@ impl BufferPool {
             no_steal: false,
             wait_ns: Arc::new(AtomicU64::new(0)),
             readahead: if window < 2 { 0 } else { window },
+            health: Arc::new(PoolHealth::default()),
+            repairer: Mutex::new(None),
         }
     }
 
@@ -291,6 +369,64 @@ impl BufferPool {
     /// as `buffer.wait_ns`).
     pub fn wait_counter(&self) -> Arc<AtomicU64> {
         self.wait_ns.clone()
+    }
+
+    /// Shared fault-tolerance state: degraded flag + page-repair counter.
+    pub fn health(&self) -> Arc<PoolHealth> {
+        self.health.clone()
+    }
+
+    /// Install the WAL-backed page repairer. Called by the storage manager
+    /// after recovery; reads that fail checksum verification consult it
+    /// before surfacing [`StorageError::PageCorrupt`].
+    pub fn set_repairer(&self, repairer: PageRepairer) {
+        *self.repairer.lock() = Some(repairer);
+    }
+
+    /// Read a page from disk and verify its checksum trailer. On a
+    /// mismatch, try to reconstruct the page from the repairer (the last
+    /// committed WAL image): a successful repair is written back to disk so
+    /// the next cold read is clean, and counted in
+    /// [`PoolHealth::page_repairs`]. Unrepairable corruption surfaces as
+    /// [`StorageError::PageCorrupt`] with the location and both checksums.
+    fn read_page_checked(&self, file: FileId, page: PageId, buf: &mut Page) -> Result<()> {
+        self.disk.read_page(file, page, buf)?;
+        if let Err((expected, actual)) = buf.verify_checksum() {
+            let repaired = self
+                .repairer
+                .lock()
+                .as_ref()
+                .and_then(|fix| fix(file, page).ok().flatten());
+            match repaired {
+                Some(image) => {
+                    // Best-effort write-back of the good image; even if the
+                    // disk refuses, the in-memory copy serves this read.
+                    let _ = self.disk.write_page(file, page, &image);
+                    *buf = image;
+                    self.health.record_repair();
+                }
+                None => {
+                    return Err(StorageError::PageCorrupt {
+                        file,
+                        page,
+                        expected,
+                        actual,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stamp the page's checksum trailer and write it back, flipping the
+    /// pool into degraded (read-only) mode if the disk refuses: a failed
+    /// write-back means buffered committed data can no longer be persisted.
+    fn write_back(&self, key: (FileId, PageId), page: &mut Page) -> Result<()> {
+        page.stamp_checksum();
+        self.disk.write_page(key.0, key.1, page).inspect_err(|e| {
+            self.health
+                .mark_degraded(&format!("page write-back failed: {e}"));
+        })
     }
 
     /// Per-shard accounting snapshots, in shard order. Componentwise sums
@@ -449,7 +585,7 @@ impl BufferPool {
                     st.map.insert(key, i);
                     let mut buf = std::mem::take(&mut st.frames[i].page);
                     drop(st);
-                    let read = self.disk.read_page(file, page, &mut buf);
+                    let read = self.read_page_checked(file, page, &mut buf);
                     st = self.lock_shard(shard);
                     st.frames[i].page = buf;
                     st.frames[i].checked_out = false;
@@ -589,7 +725,11 @@ impl BufferPool {
             let first = reserved[run_start].0;
             let run = &mut reserved[run_start..run_end];
             let mut bufs: Vec<Page> = run.iter_mut().map(|(_, _, b)| std::mem::take(b)).collect();
-            let ok = self.disk.read_pages(file, first, &mut bufs).is_ok();
+            // A checksum mismatch anywhere in the batch fails the whole
+            // run: the reservations are released and the scan's on-demand
+            // reads (which verify and repair per page) take over.
+            let ok = self.disk.read_pages(file, first, &mut bufs).is_ok()
+                && bufs.iter().all(|b| b.verify_checksum().is_ok());
             for ((_, _, slot), buf) in run.iter_mut().zip(bufs) {
                 *slot = buf;
             }
@@ -689,7 +829,7 @@ impl BufferPool {
                     // error leaves the page mapped and dirty — the caller
                     // can surface or swallow the error without the pool
                     // losing its only up-to-date copy.
-                    self.disk.write_page(key.0, key.1, &st.frames[i].page)?;
+                    self.write_back(key, &mut st.frames[i].page)?;
                     st.frames[i].dirty = false;
                 }
                 if st.frames[i].cold {
@@ -722,7 +862,7 @@ impl BufferPool {
                         continue;
                     }
                     self.record_write(shard);
-                    self.disk.write_page(key.0, key.1, &st.frames[i].page)?;
+                    self.write_back(key, &mut st.frames[i].page)?;
                     st.frames[i].dirty = false;
                 }
             }
@@ -746,8 +886,8 @@ impl BufferPool {
                             if st.frames[i].dirty {
                                 self.record_write(shard);
                                 // Best-effort write-back; a failing disk
-                                // loses the frame.
-                                let _ = self.disk.write_page(key.0, key.1, &st.frames[i].page);
+                                // loses the frame (and degrades the pool).
+                                let _ = self.write_back(key, &mut st.frames[i].page);
                             }
                             st.map.remove(&key);
                             st.frames[i].key = None;
@@ -868,7 +1008,7 @@ impl BufferPool {
                     // Evicted (steal mode only). The disk holds the latest
                     // image; read it back for the log.
                     let mut p = Page::new();
-                    match self.disk.read_page(key.0, key.1, &mut p) {
+                    match self.read_page_checked(key.0, key.1, &mut p) {
                         Ok(()) => out.push((key.0, key.1, p)),
                         Err(StorageError::UnknownFile(_))
                         | Err(StorageError::PageOutOfRange { .. }) => {}
@@ -976,7 +1116,7 @@ impl BufferPool {
     /// (waiting out any in-flight callback on it), else straight to disk
     /// (steal mode can have flushed-and-evicted the uncommitted version).
     /// Vanished files/pages (dropped mid-transaction) are ignored.
-    fn restore_page(&self, key: (FileId, PageId), before: Page, was_dirty: bool) -> Result<()> {
+    fn restore_page(&self, key: (FileId, PageId), mut before: Page, was_dirty: bool) -> Result<()> {
         let shard = &self.shards[self.shard_index(key)];
         let mut st = self.lock_shard(shard);
         loop {
@@ -995,11 +1135,16 @@ impl BufferPool {
                 }
                 None => {
                     self.record_write(shard);
+                    before.stamp_checksum();
                     return match self.disk.write_page(key.0, key.1, &before) {
                         Ok(()) => Ok(()),
                         Err(StorageError::UnknownFile(_))
                         | Err(StorageError::PageOutOfRange { .. }) => Ok(()),
-                        Err(e) => Err(e),
+                        Err(e) => {
+                            self.health
+                                .mark_degraded(&format!("page write-back failed: {e}"));
+                            Err(e)
+                        }
                     };
                 }
             }
@@ -1013,7 +1158,7 @@ mod tests {
 
     use super::*;
     use crate::disk::MemDisk;
-    use crate::page::PAGE_SIZE;
+    use crate::page::PAGE_USABLE;
 
     fn pool(cap: usize) -> (BufferPool, FileId) {
         let disk = Arc::new(MemDisk::new());
@@ -1086,11 +1231,14 @@ mod tests {
         let disk = Arc::new(MemDisk::new());
         let pool = BufferPool::new(disk.clone(), 4, DiskMetrics::new());
         let f = disk.create_file().unwrap();
-        let (pid, _) = pool.new_page(f, |p| p.data[PAGE_SIZE - 1] = 9).unwrap();
+        // The last *usable* byte: [PAGE_USABLE, PAGE_SIZE) is the checksum
+        // trailer, stamped by flush.
+        let (pid, _) = pool.new_page(f, |p| p.data[PAGE_USABLE - 1] = 9).unwrap();
         pool.flush_all().unwrap();
         let mut raw = Page::new();
         disk.read_page(f, pid, &mut raw).unwrap();
-        assert_eq!(raw.data[PAGE_SIZE - 1], 9);
+        assert_eq!(raw.data[PAGE_USABLE - 1], 9);
+        assert!(raw.verify_checksum().is_ok(), "flush must stamp the trailer");
     }
 
     #[test]
@@ -1406,6 +1554,92 @@ mod tests {
         let f = disk.create_file().unwrap();
         disk.allocate_page(f).unwrap();
         assert_eq!(pool.prefetch_sequential(f, PageId(0), 8), 0);
+    }
+
+    // ---------------- checksums, repair, degraded mode ----------------
+
+    #[test]
+    fn corrupt_page_surfaces_page_corrupt_without_repairer() {
+        let disk = Arc::new(MemDisk::new());
+        let f = disk.create_file().unwrap();
+        let pid;
+        {
+            let pool = BufferPool::new(disk.clone(), 4, DiskMetrics::new());
+            let (p, _) = pool.new_page(f, |pg| pg.data[0] = 1).unwrap();
+            pool.flush_all().unwrap();
+            pid = p;
+        }
+        // Flip a checksummed byte behind the pool's back (raw disk write,
+        // no restamp) — the next verified read must notice.
+        let mut raw = Page::new();
+        disk.read_page(f, pid, &mut raw).unwrap();
+        raw.data[0] ^= 0xFF;
+        disk.write_page(f, pid, &raw).unwrap();
+        let pool = BufferPool::new(disk.clone(), 4, DiskMetrics::new());
+        assert!(matches!(
+            pool.with_page(f, pid, AccessKind::Random, |_| {}),
+            Err(StorageError::PageCorrupt { file, page, .. }) if file == f && page == pid
+        ));
+    }
+
+    #[test]
+    fn corrupt_page_repairs_from_the_hook() {
+        let disk = Arc::new(MemDisk::new());
+        let f = disk.create_file().unwrap();
+        let pid;
+        {
+            let pool = BufferPool::new(disk.clone(), 4, DiskMetrics::new());
+            let (p, _) = pool.new_page(f, |pg| pg.data[0] = 42).unwrap();
+            pool.flush_all().unwrap();
+            pid = p;
+        }
+        let mut good = Page::new();
+        disk.read_page(f, pid, &mut good).unwrap(); // stamped committed image
+        let mut bad = good.clone();
+        bad.data[0] ^= 0xFF;
+        disk.write_page(f, pid, &bad).unwrap();
+        let pool = BufferPool::new(disk.clone(), 4, DiskMetrics::new());
+        let fixed = good.clone();
+        pool.set_repairer(Box::new(move |file, page| {
+            assert_eq!((file, page), (f, pid));
+            Ok(Some(fixed.clone()))
+        }));
+        let v = pool
+            .with_page(f, pid, AccessKind::Random, |p| p.data[0])
+            .unwrap();
+        assert_eq!(v, 42, "read is served the repaired image");
+        assert_eq!(pool.health().page_repairs(), 1);
+        // The good image was written back: a raw reread verifies clean.
+        let mut back = Page::new();
+        disk.read_page(f, pid, &mut back).unwrap();
+        assert_eq!(back.data[0], 42);
+        assert!(back.verify_checksum().is_ok());
+    }
+
+    #[test]
+    fn write_back_failure_degrades_the_pool() {
+        use crate::disk::FaultyDisk;
+        use crate::fault::FaultPlan;
+        let inner = MemDisk::new();
+        let f = inner.create_file().unwrap();
+        let pid = inner.allocate_page(f).unwrap();
+        // One op (the cache-miss read) succeeds; the flush write fails.
+        let disk = Arc::new(FaultyDisk::with_plan(inner, FaultPlan::fail_after(1)));
+        let pool = BufferPool::new(disk, 4, DiskMetrics::new());
+        pool.with_page_mut(f, pid, AccessKind::Random, |p| p.data[0] = 7)
+            .unwrap();
+        let health = pool.health();
+        assert!(!health.is_degraded());
+        assert!(pool.flush_all().is_err());
+        assert!(health.is_degraded());
+        assert!(matches!(
+            health.check_writable(),
+            Err(StorageError::Degraded { .. })
+        ));
+        assert!(!health.reason().is_empty());
+        health.heal();
+        assert!(!health.is_degraded());
+        assert!(health.check_writable().is_ok());
     }
 
     #[test]

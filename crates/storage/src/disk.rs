@@ -46,6 +46,14 @@ pub trait Disk: Send + Sync {
     fn sync(&self) -> Result<()>;
     /// All existing file ids (for recovery / catalog bootstrap).
     fn files(&self) -> Vec<FileId>;
+    /// Retry counters, when some layer of this disk stack is a
+    /// [`RetryDisk`]. Wrappers forward to their inner disk; plain devices
+    /// keep the default `None`. The storage manager uses this to surface
+    /// `io_retries`/`io_gave_up` in `SHOW METRICS` without knowing how
+    /// the harness composed its wrappers.
+    fn retry_stats(&self) -> Option<std::sync::Arc<RetryStats>> {
+        None
+    }
 }
 
 /// In-memory disk. The default substrate for tests and benches.
@@ -341,7 +349,8 @@ impl<D: Disk> FaultyDisk<D> {
 
     fn tick(&self) -> Result<()> {
         match self.plan.next() {
-            crate::fault::Fault::None => Ok(()),
+            // Bit flips only corrupt page writes; other ops pass clean.
+            crate::fault::Fault::None | crate::fault::Fault::BitFlip => Ok(()),
             _ => Err(StorageError::Io("injected fault".into())),
         }
     }
@@ -381,6 +390,15 @@ impl<D: Disk> Disk for FaultyDisk<D> {
                 }
                 Err(StorageError::Io("injected torn page write".into()))
             }
+            crate::fault::Fault::BitFlip => {
+                // Silent corruption: one seeded byte flips on the way to
+                // the medium and the write still reports success. Only a
+                // later checksum verification can tell.
+                let (off, mask) = self.plan.corrupt_byte();
+                let mut flipped = data.clone();
+                flipped.data[off] ^= mask;
+                self.inner.write_page(file, page, &flipped)
+            }
         }
     }
     fn sync(&self) -> Result<()> {
@@ -389,6 +407,138 @@ impl<D: Disk> Disk for FaultyDisk<D> {
     }
     fn files(&self) -> Vec<FileId> {
         self.inner.files()
+    }
+    fn retry_stats(&self) -> Option<std::sync::Arc<RetryStats>> {
+        self.inner.retry_stats()
+    }
+}
+
+/// Lifetime counters for a [`RetryDisk`].
+///
+/// Counter discipline: `io_retries` counts individual retry *attempts*;
+/// `io_gave_up` counts operations that exhausted the whole backoff
+/// schedule and surfaced their error. Every give-up is preceded by a full
+/// schedule of retries, so with a non-empty schedule
+/// `io_gave_up ≤ io_retries` always holds (equality only when every
+/// retried operation failed terminally with a one-entry schedule).
+#[derive(Debug, Default)]
+pub struct RetryStats {
+    pub io_retries: AtomicU64,
+    pub io_gave_up: AtomicU64,
+}
+
+impl RetryStats {
+    pub fn retries(&self) -> u64 {
+        self.io_retries.load(Ordering::Relaxed)
+    }
+    pub fn gave_up(&self) -> u64 {
+        self.io_gave_up.load(Ordering::Relaxed)
+    }
+}
+
+/// Default backoff schedule: bounded exponential, in milliseconds.
+const DEFAULT_BACKOFF_MS: &[u64] = &[1, 2, 4, 8];
+
+/// A [`Disk`] wrapper that retries transient page read/write faults with
+/// a bounded backoff schedule, composable with [`FaultyDisk`] (wrap the
+/// faulty disk so injected hiccups get ridden out).
+///
+/// Only `Io` errors are retried — they are the shape transient device
+/// trouble takes. Deterministic failures (`PageOutOfRange`,
+/// `UnknownFile`) surface immediately, and `sync` is deliberately *not*
+/// retried: after a failed fsync the kernel may already have dropped the
+/// dirty pages, so re-issuing it can report durability that never
+/// happened. The sleep function is injected so tests can pin the whole
+/// schedule without touching the wall clock.
+pub struct RetryDisk<D: Disk> {
+    inner: D,
+    /// Delay handed to `sleep` before retry *i*; its length bounds the
+    /// number of retries per operation.
+    backoff: Vec<u64>,
+    sleep: Box<dyn Fn(u64) + Send + Sync>,
+    stats: std::sync::Arc<RetryStats>,
+}
+
+impl<D: Disk> RetryDisk<D> {
+    /// Production wrapper: the default exponential schedule, really
+    /// sleeping between attempts.
+    pub fn new(inner: D) -> Self {
+        Self::with_backoff(
+            inner,
+            DEFAULT_BACKOFF_MS.to_vec(),
+            Box::new(|ms| std::thread::sleep(std::time::Duration::from_millis(ms))),
+        )
+    }
+
+    /// Test wrapper: an explicit schedule and an injected sleep (pass a
+    /// recording closure to assert the delays without waiting for them).
+    pub fn with_backoff(
+        inner: D,
+        backoff: Vec<u64>,
+        sleep: Box<dyn Fn(u64) + Send + Sync>,
+    ) -> Self {
+        RetryDisk {
+            inner,
+            backoff,
+            sleep,
+            stats: std::sync::Arc::new(RetryStats::default()),
+        }
+    }
+
+    /// The shared counters (also reachable via [`Disk::retry_stats`]).
+    pub fn stats(&self) -> std::sync::Arc<RetryStats> {
+        self.stats.clone()
+    }
+
+    fn with_retry<T>(&self, mut op: impl FnMut() -> Result<T>) -> Result<T> {
+        let mut attempt = 0usize;
+        loop {
+            match op() {
+                Err(StorageError::Io(_)) if attempt < self.backoff.len() => {
+                    (self.sleep)(self.backoff[attempt]);
+                    attempt += 1;
+                    self.stats.io_retries.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(err @ StorageError::Io(_)) => {
+                    self.stats.io_gave_up.fetch_add(1, Ordering::Relaxed);
+                    return Err(err);
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+impl<D: Disk> Disk for RetryDisk<D> {
+    fn create_file(&self) -> Result<FileId> {
+        self.inner.create_file()
+    }
+    fn drop_file(&self, file: FileId) -> Result<()> {
+        self.inner.drop_file(file)
+    }
+    fn page_count(&self, file: FileId) -> Result<u32> {
+        self.inner.page_count(file)
+    }
+    fn allocate_page(&self, file: FileId) -> Result<PageId> {
+        self.inner.allocate_page(file)
+    }
+    fn read_page(&self, file: FileId, page: PageId, buf: &mut Page) -> Result<()> {
+        self.with_retry(|| self.inner.read_page(file, page, buf))
+    }
+    fn read_pages(&self, file: FileId, start: PageId, bufs: &mut [Page]) -> Result<()> {
+        self.with_retry(|| self.inner.read_pages(file, start, bufs))
+    }
+    fn write_page(&self, file: FileId, page: PageId, data: &Page) -> Result<()> {
+        self.with_retry(|| self.inner.write_page(file, page, data))
+    }
+    fn sync(&self) -> Result<()> {
+        self.inner.sync()
+    }
+    fn files(&self) -> Vec<FileId> {
+        self.inner.files()
+    }
+    fn retry_stats(&self) -> Option<std::sync::Arc<RetryStats>> {
+        Some(self.stats.clone())
     }
 }
 
@@ -463,6 +613,99 @@ mod tests {
             assert!(f2 > f);
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retry_disk_rides_out_transient_faults() {
+        use crate::fault::FaultPlan;
+        let inner = MemDisk::new();
+        let f = inner.create_file().unwrap();
+        inner.allocate_page(f).unwrap();
+        let mut page = Page::new();
+        page.data[0] = 0x11;
+        // Transient plan: the next 2 ops fail, then the device heals.
+        let faulty = FaultyDisk::with_plan(inner, FaultPlan::fail_n_then_heal(2));
+        let delays = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let rec = delays.clone();
+        let disk = RetryDisk::with_backoff(
+            faulty,
+            vec![1, 2, 4],
+            Box::new(move |ms| rec.lock().push(ms)),
+        );
+        let stats = disk.retry_stats().unwrap();
+        disk.write_page(f, PageId(0), &page).unwrap();
+        let mut back = Page::new();
+        disk.read_page(f, PageId(0), &mut back).unwrap();
+        assert_eq!(back.data[0], 0x11, "write landed after the hiccup");
+        assert_eq!(stats.retries(), 2, "two transient failures retried");
+        assert_eq!(stats.gave_up(), 0);
+        assert_eq!(*delays.lock(), vec![1, 2], "backoff schedule honoured");
+    }
+
+    #[test]
+    fn retry_disk_gives_up_on_persistent_faults() {
+        let inner = MemDisk::new();
+        let f = inner.create_file().unwrap();
+        inner.allocate_page(f).unwrap();
+        // Latching plan: dead until heal, which never comes.
+        let faulty = FaultyDisk::with_plan(inner, crate::fault::FaultPlan::fail_after(0));
+        let disk = RetryDisk::with_backoff(faulty, vec![1, 2], Box::new(|_| {}));
+        let stats = disk.stats();
+        let page = Page::new();
+        assert!(matches!(
+            disk.write_page(f, PageId(0), &page),
+            Err(StorageError::Io(_))
+        ));
+        assert_eq!(stats.retries(), 2, "full schedule consumed");
+        assert_eq!(stats.gave_up(), 1);
+        assert!(
+            stats.gave_up() <= stats.retries(),
+            "documented counter invariant"
+        );
+        // Deterministic errors are not retried.
+        let mut buf = Page::new();
+        let before = stats.retries();
+        // The faulty plan is latched, but PageOutOfRange is checked by
+        // MemDisk only after the injected Io error — so heal first.
+        disk.inner.heal();
+        assert!(matches!(
+            disk.read_page(f, PageId(99), &mut buf),
+            Err(StorageError::PageOutOfRange { .. })
+        ));
+        assert_eq!(stats.retries(), before, "no retry for deterministic errors");
+    }
+
+    #[test]
+    fn faulty_disk_bit_flip_is_silent_and_seeded() {
+        use crate::fault::FaultPlan;
+        let make = |seed| {
+            let inner = MemDisk::new();
+            let f = inner.create_file().unwrap();
+            inner.allocate_page(f).unwrap();
+            // Op 1 is the write (page_count/files don't tick).
+            let disk = FaultyDisk::with_plan(inner, FaultPlan::bit_flip_at(1, seed));
+            let mut page = Page::new();
+            page.data.fill(0x55);
+            page.stamp_checksum();
+            disk.write_page(f, PageId(0), &page).unwrap(); // silent!
+            let mut back = Page::new();
+            disk.read_page(f, PageId(0), &mut back).unwrap();
+            (page, back)
+        };
+        let (orig, corrupted) = make(1234);
+        assert_ne!(
+            orig.data[..],
+            corrupted.data[..],
+            "exactly one byte differs"
+        );
+        let diffs: Vec<_> = (0..PAGE_SIZE)
+            .filter(|&i| orig.data[i] != corrupted.data[i])
+            .collect();
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0] < crate::page::PAGE_USABLE, "flip stays detectable");
+        assert!(corrupted.verify_checksum().is_err(), "checksum catches it");
+        let (_, again) = make(1234);
+        assert_eq!(corrupted.data[..], again.data[..], "seeded → reproducible");
     }
 
     #[test]

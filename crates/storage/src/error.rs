@@ -28,10 +28,32 @@ pub enum StorageError {
     RecordTooLarge { size: usize, max: usize },
     /// A slotted-page invariant was violated (corruption).
     Corrupt(String),
+    /// A structural-corruption report annotated with the page it came from
+    /// (see [`StorageError::locate`]).
+    CorruptAt {
+        file: FileId,
+        page: PageId,
+        detail: String,
+    },
+    /// A page's on-disk checksum trailer did not match its contents — the
+    /// disk returned bytes the engine never wrote (bit rot, torn write).
+    PageCorrupt {
+        file: FileId,
+        page: PageId,
+        expected: u32,
+        actual: u32,
+    },
     /// The buffer pool had no evictable frame (everything pinned).
     PoolExhausted,
     /// A lock could not be granted before the deadlock timeout.
     LockTimeout { resource: String },
+    /// A lock wait closed a cycle in the waits-for graph; the youngest
+    /// participant (`victim`) was chosen to abort. Owner ids are the
+    /// transaction ids of every cycle member, in discovery order.
+    Deadlock { victim: u64, cycle: Vec<u64> },
+    /// The engine is in read-only degraded mode after a persistent write
+    /// failure; writes are refused until `heal()` clears the condition.
+    Degraded { reason: String },
     /// An operation was attempted on an aborted/finished transaction.
     TxnFinished,
     /// The operation is illegal while a transaction is open (e.g. a
@@ -64,9 +86,33 @@ impl fmt::Display for StorageError {
                 )
             }
             StorageError::Corrupt(msg) => write!(f, "storage corruption: {msg}"),
+            StorageError::CorruptAt { file, page, detail } => {
+                write!(
+                    f,
+                    "storage corruption in file {file:?} page {page:?}: {detail}"
+                )
+            }
+            StorageError::PageCorrupt {
+                file,
+                page,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "checksum mismatch on file {file:?} page {page:?}: \
+                     expected {expected:#010x}, got {actual:#010x}"
+                )
+            }
             StorageError::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
             StorageError::LockTimeout { resource } => {
                 write!(f, "lock wait timed out on {resource}")
+            }
+            StorageError::Deadlock { victim, cycle } => {
+                write!(f, "deadlock detected: victim {victim}, cycle {cycle:?}")
+            }
+            StorageError::Degraded { reason } => {
+                write!(f, "engine is read-only (degraded mode): {reason}")
             }
             StorageError::TxnFinished => write!(f, "transaction already committed or aborted"),
             StorageError::TxnActive => write!(f, "operation not allowed while a transaction is active"),
@@ -75,6 +121,19 @@ impl fmt::Display for StorageError {
             }
             StorageError::DuplicateKey => write!(f, "duplicate key in unique index"),
             StorageError::KeyNotFound => write!(f, "key not found"),
+        }
+    }
+}
+
+impl StorageError {
+    /// Attach a page location to a bare `Corrupt` report. Errors that
+    /// already carry their own location (or are not corruption at all)
+    /// pass through unchanged, so this is safe to apply at any boundary
+    /// that knows which page it was reading.
+    pub fn locate(self, file: FileId, page: PageId) -> Self {
+        match self {
+            StorageError::Corrupt(detail) => StorageError::CorruptAt { file, page, detail },
+            other => other,
         }
     }
 }
@@ -115,5 +174,26 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(StorageError::DuplicateKey, StorageError::DuplicateKey);
         assert_ne!(StorageError::DuplicateKey, StorageError::KeyNotFound);
+    }
+
+    #[test]
+    fn locate_annotates_only_bare_corruption() {
+        let located =
+            StorageError::Corrupt("bad slot".into()).locate(FileId(3), PageId(7));
+        assert_eq!(
+            located,
+            StorageError::CorruptAt {
+                file: FileId(3),
+                page: PageId(7),
+                detail: "bad slot".into()
+            }
+        );
+        assert!(located.to_string().contains("FileId(3)"));
+        // Non-corruption errors pass through untouched.
+        let other = StorageError::DuplicateKey.locate(FileId(1), PageId(1));
+        assert_eq!(other, StorageError::DuplicateKey);
+        // Already-located corruption keeps its original page.
+        let kept = located.clone().locate(FileId(9), PageId(9));
+        assert_eq!(kept, located);
     }
 }

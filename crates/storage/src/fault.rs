@@ -12,6 +12,20 @@
 //! [`FaultPlan::heal`]. The latch is what lets the harness drop the process
 //! state, keep the disk and log bytes, and reopen against healed wrappers.
 //!
+//! Two modes deliberately break the latch rule:
+//!
+//! * [`FaultPlan::fail_n_then_heal`] is *transient*: the next `n`
+//!   operations fail cleanly, then the device auto-heals. It models the
+//!   hiccup a retrying caller ([`RetryDisk`](crate::disk::RetryDisk)) is
+//!   designed to ride out, so it must not stay dead.
+//! * [`FaultPlan::bit_flip_at`] is *silent* one-shot corruption: the
+//!   `k`-th operation, if it is a page write, succeeds — but one seeded
+//!   byte of the written image (always inside the checksummed
+//!   [`PAGE_USABLE`](crate::page::PAGE_USABLE) region) is flipped on the
+//!   way to the medium. The caller sees `Ok`; only the page checksum can
+//!   tell. Byte position and XOR mask come from the plan's SplitMix64
+//!   stream, so a given seed corrupts reproducibly.
+//!
 //! [`FaultyDisk`](crate::disk::FaultyDisk) and [`FaultyLog`] consult a
 //! shared plan, so "the 7th I/O anywhere" counts disk and log operations
 //! through one sequence.
@@ -34,6 +48,10 @@ pub enum Fault {
     /// Operations that cannot tear (reads, creates, syncs) treat this
     /// as [`Fault::Fail`].
     Torn,
+    /// Silently corrupt the write: flip one byte of the image, persist
+    /// it, and report success. Operations that cannot corrupt (reads,
+    /// creates, syncs, log appends) treat this as [`Fault::None`].
+    BitFlip,
 }
 
 /// SplitMix64 — tiny, seedable, and good enough to scatter fault points.
@@ -65,6 +83,8 @@ enum Trigger {
     /// Fire once every operation past `n` (the legacy fuse: `n` ops
     /// succeed, then the device is dead).
     After(u64),
+    /// Transient: fire on the first `n` operations, then auto-heal.
+    FirstN(u64),
     /// Fire each operation with probability `p` drawn from the seeded RNG.
     Random,
 }
@@ -135,6 +155,21 @@ impl FaultPlan {
         Self::with(Trigger::Random, Fault::Fail, seed, p)
     }
 
+    /// Transient fault: the next `n` operations fail cleanly, then the
+    /// device auto-heals (no latch). This is the hiccup a retrying caller
+    /// is expected to ride out — see `RetryDisk`.
+    pub fn fail_n_then_heal(n: u64) -> Arc<Self> {
+        Self::with(Trigger::FirstN(n), Fault::Fail, 0, 0.0)
+    }
+
+    /// One-shot silent corruption: the `k`-th operation (1-based), if it
+    /// is a page write, persists with one byte flipped — position and XOR
+    /// mask drawn from `seed` — and *reports success*. The plan disarms
+    /// after firing instead of latching; only a checksum can notice.
+    pub fn bit_flip_at(k: u64, seed: u64) -> Arc<Self> {
+        Self::with(Trigger::At(k), Fault::BitFlip, seed, 0.0)
+    }
+
     /// Decide the fate of the next operation. Wrappers call this once per
     /// I/O; the plan counts the operation and latches when it fires.
     pub fn next(&self) -> Fault {
@@ -147,6 +182,7 @@ impl FaultPlan {
             Trigger::Disarmed => None,
             Trigger::At(k) => (st.ops == k).then_some(st.kind),
             Trigger::After(n) => (st.ops > n).then_some(st.kind),
+            Trigger::FirstN(n) => (st.ops <= n).then_some(st.kind),
             Trigger::Random => {
                 if st.rng.next_f64() < st.p {
                     // Second draw: clean failure or torn write.
@@ -162,14 +198,32 @@ impl FaultPlan {
         };
         match fire {
             Some(kind) => {
-                st.tripped = true;
                 if st.fired_at.is_none() {
                     st.fired_at = Some(st.ops);
+                }
+                // Transient (FirstN) faults self-limit; a silent bit flip
+                // disarms after its single shot. Everything else models a
+                // crash and latches until heal().
+                match (st.trigger, kind) {
+                    (Trigger::FirstN(_), _) => {}
+                    (_, Fault::BitFlip) => st.trigger = Trigger::Disarmed,
+                    _ => st.tripped = true,
                 }
                 kind
             }
             None => Fault::None,
         }
+    }
+
+    /// Seeded draw for [`Fault::BitFlip`]: a byte offset inside the
+    /// checksummed region of a page and a non-zero XOR mask. Always lands
+    /// in `[0, PAGE_USABLE)` so the corruption is guaranteed detectable —
+    /// flipping trailer bytes would just invalidate the stamp itself.
+    pub fn corrupt_byte(&self) -> (usize, u8) {
+        let mut st = self.state.lock();
+        let off = (st.rng.next() % crate::page::PAGE_USABLE as u64) as usize;
+        let mask = (st.rng.next() % 255 + 1) as u8;
+        (off, mask)
     }
 
     /// Disarm the plan and clear the latch: the "rebooted" device works.
@@ -211,7 +265,9 @@ impl<L: LogStore> FaultyLog<L> {
 impl<L: LogStore> LogStore for FaultyLog<L> {
     fn append(&self, bytes: &[u8]) -> Result<()> {
         match self.plan.next() {
-            Fault::None => self.inner.append(bytes),
+            // Log records carry their own frame checksum; a silent page
+            // bit-flip has no log analogue, so the append passes through.
+            Fault::None | Fault::BitFlip => self.inner.append(bytes),
             Fault::Fail => Err(StorageError::Io("injected log append fault".into())),
             Fault::Torn => {
                 let _ = self.inner.append(&bytes[..bytes.len() / 2]);
@@ -221,19 +277,19 @@ impl<L: LogStore> LogStore for FaultyLog<L> {
     }
     fn force(&self) -> Result<()> {
         match self.plan.next() {
-            Fault::None => self.inner.force(),
+            Fault::None | Fault::BitFlip => self.inner.force(),
             _ => Err(StorageError::Io("injected log force fault".into())),
         }
     }
     fn read_all(&self) -> Result<Vec<u8>> {
         match self.plan.next() {
-            Fault::None => self.inner.read_all(),
+            Fault::None | Fault::BitFlip => self.inner.read_all(),
             _ => Err(StorageError::Io("injected log read fault".into())),
         }
     }
     fn truncate(&self) -> Result<()> {
         match self.plan.next() {
-            Fault::None => self.inner.truncate(),
+            Fault::None | Fault::BitFlip => self.inner.truncate(),
             _ => Err(StorageError::Io("injected log truncate fault".into())),
         }
     }
@@ -281,6 +337,34 @@ mod tests {
         let seq: Vec<_> = (0..64).map(|_| plan.next()).collect();
         let first = seq.iter().position(|f| *f != Fault::None).unwrap();
         assert!(seq[first + 1..].iter().all(|f| *f == Fault::Fail));
+    }
+
+    #[test]
+    fn fail_n_then_heal_is_transient() {
+        let plan = FaultPlan::fail_n_then_heal(3);
+        assert_eq!(plan.next(), Fault::Fail);
+        assert_eq!(plan.next(), Fault::Fail);
+        assert_eq!(plan.next(), Fault::Fail);
+        // Auto-heals: no latch, no heal() call needed.
+        assert_eq!(plan.next(), Fault::None);
+        assert_eq!(plan.next(), Fault::None);
+        assert_eq!(plan.fired_at(), Some(1));
+    }
+
+    #[test]
+    fn bit_flip_fires_once_and_disarms() {
+        let plan = FaultPlan::bit_flip_at(2, 99);
+        assert_eq!(plan.next(), Fault::None);
+        assert_eq!(plan.next(), Fault::BitFlip);
+        // One shot: subsequent operations are clean, not latched failures.
+        assert_eq!(plan.next(), Fault::None);
+        assert_eq!(plan.fired_at(), Some(2));
+        // The corruption draw is seeded and in-bounds.
+        let (off, mask) = FaultPlan::bit_flip_at(1, 7).corrupt_byte();
+        let (off2, mask2) = FaultPlan::bit_flip_at(1, 7).corrupt_byte();
+        assert_eq!((off, mask), (off2, mask2), "same seed, same corruption");
+        assert!(off < crate::page::PAGE_USABLE);
+        assert_ne!(mask, 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::buffer::BufferPool;
 use crate::error::{Result, StorageError};
 use crate::metrics::AccessKind;
 use crate::oid::{FileId, Oid, PageId};
-use crate::page::{Page, PAGE_SIZE};
+use crate::page::{Page, PAGE_USABLE};
 
 const NO_PAGE: u32 = u32::MAX;
 /// Page header: next-overflow pointer (4) + entry count (2) + used bytes (2).
@@ -89,7 +89,7 @@ impl PageView {
     fn try_append(p: &mut Page, key: &[u8], oid: Oid) -> bool {
         let need = 2 + key.len() + Oid::ENCODED_LEN;
         let used = Self::used(p);
-        if used + need > PAGE_SIZE {
+        if used + need > PAGE_USABLE {
             return false;
         }
         let mut off = used;
@@ -159,7 +159,7 @@ impl HashIndex {
     /// the catalog's index maintenance — deduplicates where required).
     pub fn insert(&self, key: &[u8], oid: Oid) -> Result<()> {
         let _guard = self.write_lock.lock();
-        let max_entry = PAGE_SIZE - HEADER;
+        let max_entry = PAGE_USABLE - HEADER;
         if 2 + key.len() + Oid::ENCODED_LEN > max_entry {
             return Err(StorageError::RecordTooLarge {
                 size: key.len(),
@@ -205,7 +205,7 @@ impl HashIndex {
             let (entries, next) = self.pool.with_page(self.file, p, AccessKind::Index, |pg| {
                 (PageView::entries(pg), PageView::next(pg))
             })?;
-            for (k, oid) in entries? {
+            for (k, oid) in entries.map_err(|e| e.locate(self.file, p))? {
                 if k == key {
                     out.push(oid);
                 }
@@ -235,7 +235,8 @@ impl HashIndex {
                         PageView::rewrite(pg, &kept);
                     }
                     Ok::<_, StorageError>(PageView::next(pg))
-                })??;
+                })?
+                .map_err(|e| e.locate(self.file, p))?;
             pid = next;
         }
         Ok(removed)

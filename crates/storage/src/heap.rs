@@ -137,8 +137,11 @@ impl HeapFile {
         match content {
             SlotContent::Record(bytes) => Ok(bytes[1..].to_vec()),
             SlotContent::Forward(fwd) => {
-                let target = Oid::from_bytes(&fwd)
-                    .ok_or(StorageError::Corrupt("bad forwarding address".into()))?;
+                let target = Oid::from_bytes(&fwd).ok_or(StorageError::CorruptAt {
+                    file: self.file,
+                    page: oid.page,
+                    detail: "bad forwarding address".into(),
+                })?;
                 // Forwarded access always pays an extra random page fetch.
                 let content = self
                     .pool
@@ -183,8 +186,11 @@ impl HeapFile {
                 |p| match SlottedPage::get(p, oid.slot, oid.unique) {
                     Err(_) | Ok(SlotContent::Free) => Err(StorageError::DanglingOid(oid)),
                     Ok(SlotContent::Forward(fwd)) => {
-                        let target = Oid::from_bytes(&fwd)
-                            .ok_or(StorageError::Corrupt("bad forwarding address".into()))?;
+                        let target = Oid::from_bytes(&fwd).ok_or(StorageError::CorruptAt {
+                            file: oid.file,
+                            page: oid.page,
+                            detail: "bad forwarding address".into(),
+                        })?;
                         Ok(Outcome::FollowForward(target))
                     }
                     Ok(SlotContent::Record(_)) => {

@@ -38,8 +38,8 @@ pub mod registry;
 pub mod wal;
 
 pub use btree::{BTree, BTreeStats};
-pub use buffer::BufferPool;
-pub use disk::{Disk, FaultyDisk, FileDisk, MemDisk};
+pub use buffer::{BufferPool, PageRepairer, PoolHealth};
+pub use disk::{Disk, FaultyDisk, FileDisk, MemDisk, RetryDisk, RetryStats};
 pub use error::{Result, StorageError};
 pub use exec::{chunk_ranges, run_chunked, ExecutionConfig};
 pub use fault::{Fault, FaultPlan, FaultyLog};
@@ -48,7 +48,7 @@ pub use heap::HeapFile;
 pub use lock::{LockManager, LockMode, OwnerId};
 pub use metrics::{AccessHint, AccessKind, DiskMetrics, MetricsSnapshot, PhysicalParams};
 pub use oid::{FileId, Oid, PageId, SlotId};
-pub use page::{Page, SlottedPage, PAGE_SIZE};
+pub use page::{Page, SlottedPage, PAGE_SIZE, PAGE_USABLE};
 pub use registry::{EngineMetrics, MetricsRegistry, OperatorTotals, PlanCacheStats};
 pub use wal::{FileLog, LogStore, MemLog, TxnId, Wal, WalStats};
 
@@ -99,6 +99,7 @@ impl StorageManager {
             locks.clone(),
             pool.wait_counter(),
         ));
+        registry.attach_health(pool.health());
         StorageManager {
             pool,
             locks,
@@ -138,12 +139,27 @@ impl StorageManager {
         let pool = Arc::new(BufferPool::new_no_steal(disk, frames, metrics.clone()));
         let locks = Arc::new(LockManager::default());
         let wal = Arc::new(wal);
+        // Checksum failures on durable managers repair from the redo log's
+        // last committed after-image instead of failing the query.
+        {
+            let wal = wal.clone();
+            pool.set_repairer(Box::new(move |file, page| {
+                wal.latest_committed_image(file, page)
+            }));
+        }
         let registry = Arc::new(MetricsRegistry::new(
             metrics.clone(),
             wal.clone(),
             locks.clone(),
             pool.wait_counter(),
         ));
+        registry.attach_health(pool.health());
+        // Surface retry counters when some layer of the disk stack is a
+        // RetryDisk (the harness composes wrappers; discovery keeps the
+        // manager agnostic to the stacking order).
+        if let Some(stats) = pool.disk().retry_stats() {
+            registry.attach_retry_stats(stats);
+        }
         Ok(StorageManager {
             pool,
             locks,
@@ -175,6 +191,12 @@ impl StorageManager {
     /// The engine-wide metrics registry (disk + WAL + locks + operators).
     pub fn registry(&self) -> &Arc<MetricsRegistry> {
         &self.registry
+    }
+
+    /// Fault-tolerance state: degraded (read-only) flag and page-repair
+    /// counter, shared with the buffer pool that maintains it.
+    pub fn health(&self) -> Arc<buffer::PoolHealth> {
+        self.pool.health()
     }
 
     /// Create a new heap file on this manager.
@@ -271,6 +293,7 @@ impl StorageManager {
     pub fn txn_commit(&self, txn: TxnId) -> Result<()> {
         if !self.durable {
             self.pool.txn_end();
+            self.locks.release_all(txn);
             return Ok(());
         }
         let result = (|| {
@@ -283,24 +306,37 @@ impl StorageManager {
             }
             self.wal.commit(txn)
         })();
-        match result {
+        let out = match result {
             Ok(()) => {
                 self.pool.txn_end();
                 Ok(())
             }
             Err(e) => {
+                // A WAL that cannot take the commit durably means no future
+                // write can be made durable either: flip to read-only until
+                // an operator heals the engine. (Deterministic storage
+                // errors from collecting the images are not device trouble.)
+                if matches!(e, StorageError::Io(_)) {
+                    self.pool
+                        .health()
+                        .mark_degraded(&format!("WAL append failed at commit: {e}"));
+                }
                 let _ = self.wal.abort(txn);
                 let _ = self.pool.txn_rollback();
                 Err(e)
             }
-        }
+        };
+        self.locks.release_all(txn);
+        out
     }
 
     /// Roll back: restore every dirtied page's before-image in the pool and
     /// note the abort in the log (best-effort — recovery ignores the
     /// transaction anyway, since no commit record exists).
     pub fn txn_rollback(&self, txn: TxnId) -> Result<()> {
-        let had_writes = self.pool.txn_rollback()?;
+        let result = self.pool.txn_rollback();
+        self.locks.release_all(txn);
+        let had_writes = result?;
         if self.durable && had_writes {
             let _ = self.wal.abort(txn);
         }

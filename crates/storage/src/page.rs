@@ -20,6 +20,13 @@
 //!   reused; its `unique` stamp is bumped on reuse so stale OIDs fail.
 //! * `len == LEN_FORWARD` marks a forwarding stub: the record bytes are a
 //!   serialized [`crate::oid::Oid`] pointing at the record's new home.
+//!
+//! The last [`PAGE_TRAILER`] bytes of *every* page (slotted or raw) are
+//! reserved for a checksum trailer `[magic: u32][crc: u32]` owned by the
+//! disk boundary: the buffer pool stamps it on write-back and verifies it
+//! on read. Record layouts never touch bytes past [`PAGE_USABLE`]. A page
+//! without the magic (e.g. a freshly allocated all-zero page) is
+//! *unstamped* and passes verification.
 
 use crate::error::{Result, StorageError};
 use crate::oid::SlotId;
@@ -27,12 +34,21 @@ use crate::oid::SlotId;
 /// Page size in bytes — the paper's Table 10 parameter `B`.
 pub const PAGE_SIZE: usize = 4096;
 
+/// Bytes reserved at the page tail for the checksum trailer
+/// (`[magic: u32 LE][crc: u32 LE]`).
+pub const PAGE_TRAILER: usize = 8;
+/// Bytes of a page usable by record layouts; everything past this offset
+/// belongs to the checksum trailer.
+pub const PAGE_USABLE: usize = PAGE_SIZE - PAGE_TRAILER;
+/// Trailer magic; its absence marks an unstamped page.
+const TRAILER_MAGIC: u32 = 0x4D4F_4F44; // "MOOD"
+
 const HEADER: usize = 8;
 const SLOT_BYTES: usize = 8;
 const LEN_FREE: u16 = u16::MAX;
 const LEN_FORWARD: u16 = u16::MAX - 1;
 /// Largest record payload storable in one page.
-pub const MAX_RECORD: usize = PAGE_SIZE - HEADER - SLOT_BYTES;
+pub const MAX_RECORD: usize = PAGE_USABLE - HEADER - SLOT_BYTES;
 
 /// A raw page buffer.
 #[derive(Clone)]
@@ -68,6 +84,31 @@ impl Page {
     fn set_u32(&mut self, off: usize, v: u32) {
         self.data[off..off + 4].copy_from_slice(&v.to_le_bytes());
     }
+
+    /// Stamp the checksum trailer over the usable bytes. Called by the
+    /// buffer pool (and WAL recovery) immediately before every disk
+    /// write; in-memory readers never consult the trailer.
+    pub fn stamp_checksum(&mut self) {
+        let crc = crate::wal::checksum(&self.data[..PAGE_USABLE]);
+        self.set_u32(PAGE_USABLE, TRAILER_MAGIC);
+        self.set_u32(PAGE_USABLE + 4, crc);
+    }
+
+    /// Verify the checksum trailer: `Ok(())` for an unstamped page or a
+    /// matching crc, `Err((expected, actual))` on a mismatch, where
+    /// `expected` is the crc the trailer promised.
+    pub fn verify_checksum(&self) -> std::result::Result<(), (u32, u32)> {
+        if self.u32_at(PAGE_USABLE) != TRAILER_MAGIC {
+            return Ok(());
+        }
+        let expected = self.u32_at(PAGE_USABLE + 4);
+        let actual = crate::wal::checksum(&self.data[..PAGE_USABLE]);
+        if expected == actual {
+            Ok(())
+        } else {
+            Err((expected, actual))
+        }
+    }
 }
 
 /// What a slot currently holds.
@@ -92,7 +133,7 @@ impl SlottedPage {
         page.data.fill(0);
         page.set_u16(0, 0); // slot_count
         page.set_u16(2, HEADER as u16); // free_start
-        page.set_u16(4, PAGE_SIZE as u16); // free_end
+        page.set_u16(4, PAGE_USABLE as u16); // free_end
         page.set_u16(6, 0); // flags
     }
 
@@ -122,7 +163,7 @@ impl SlottedPage {
                 used += Self::stored_len(len);
             }
         }
-        PAGE_SIZE - used
+        PAGE_USABLE - used
     }
 
     /// Space physically occupied by a slot's record. Every record is
@@ -354,7 +395,7 @@ impl SlottedPage {
                 ));
             }
         }
-        let mut end = PAGE_SIZE;
+        let mut end = PAGE_USABLE;
         for (i, bytes, len, unique) in live {
             end -= bytes.len();
             page.data[end..end + bytes.len()].copy_from_slice(&bytes);
@@ -519,6 +560,41 @@ mod tests {
             SlotContent::Forward(bytes) => assert_eq!(Oid::from_bytes(&bytes), Some(target)),
             other => panic!("expected forward, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn checksum_stamp_verify_roundtrip() {
+        let mut p = fresh();
+        SlottedPage::insert(&mut p, b"payload").unwrap();
+        // Unstamped pages (fresh allocations) pass verification.
+        assert!(Page::new().verify_checksum().is_ok());
+        p.stamp_checksum();
+        assert!(p.verify_checksum().is_ok());
+        // Any usable-byte flip is caught...
+        p.data[100] ^= 0x40;
+        let (expected, actual) = p.verify_checksum().unwrap_err();
+        assert_ne!(expected, actual);
+        p.data[100] ^= 0x40;
+        assert!(p.verify_checksum().is_ok());
+        // ...and re-stamping after mutation heals the trailer.
+        SlottedPage::insert(&mut p, b"more").unwrap();
+        assert!(p.verify_checksum().is_err());
+        p.stamp_checksum();
+        assert!(p.verify_checksum().is_ok());
+    }
+
+    #[test]
+    fn records_never_reach_the_trailer() {
+        let mut p = fresh();
+        let rec = vec![0xffu8; 200];
+        while SlottedPage::fits(&p, rec.len()) {
+            SlottedPage::insert(&mut p, &rec).unwrap();
+        }
+        SlottedPage::compact(&mut p);
+        assert!(
+            p.data[PAGE_USABLE..].iter().all(|&b| b == 0),
+            "a full, compacted page leaves the trailer untouched"
+        );
     }
 
     #[test]

@@ -15,6 +15,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use crate::buffer::PoolHealth;
+use crate::disk::RetryStats;
 use crate::lock::LockManager;
 use crate::metrics::{DiskMetrics, MetricsSnapshot};
 use crate::wal::{Wal, WalStats};
@@ -56,6 +58,11 @@ pub struct MetricsRegistry {
     /// The buffer pool's contention counter (nanoseconds blocked on shard
     /// locks / checked-out pages) — shared with the pool that bumps it.
     buffer_wait_ns: Arc<AtomicU64>,
+    /// Degraded flag + page-repair counter; attached by the storage
+    /// manager (absent on bare registries, which then report healthy).
+    health: Mutex<Option<Arc<PoolHealth>>>,
+    /// RetryDisk counters, when the disk stack has a retry layer.
+    retry: Mutex<Option<Arc<RetryStats>>>,
     operators: Mutex<BTreeMap<String, OperatorTotals>>,
     plan_cache_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
@@ -81,6 +88,20 @@ pub struct EngineMetrics {
     pub lock_waits: u64,
     /// Lock acquires that gave up at the deadlock timeout.
     pub lock_timeouts: u64,
+    /// Waits-for cycles detected (each aborts its youngest participant).
+    pub lock_deadlocks: u64,
+    /// Pages reconstructed from the WAL after a checksum mismatch.
+    pub page_repairs: u64,
+    /// Individual I/O retry attempts (RetryDisk). Counter discipline:
+    /// every give-up is preceded by a full backoff schedule of retries,
+    /// so `io_gave_up <= io_retries` whenever the schedule is non-empty.
+    pub io_retries: u64,
+    /// Operations that exhausted the whole backoff schedule.
+    pub io_gave_up: u64,
+    /// Is the engine in read-only degraded mode?
+    pub degraded: bool,
+    /// Why the engine degraded (empty while healthy).
+    pub degraded_reason: String,
     /// Plan-cache hit/miss/eviction/invalidation totals.
     pub plan_cache: PlanCacheStats,
     /// Nanoseconds spent compiling cacheable plans and register programs.
@@ -118,6 +139,18 @@ impl EngineMetrics {
             ("wal.recovered_pages", self.wal.recovered.to_string()),
             ("lock.waits", self.lock_waits.to_string()),
             ("lock.timeouts", self.lock_timeouts.to_string()),
+            ("lock.deadlocks", self.lock_deadlocks.to_string()),
+            ("page.repairs", self.page_repairs.to_string()),
+            ("io.retries", self.io_retries.to_string()),
+            ("io.gave_up", self.io_gave_up.to_string()),
+            (
+                "storage.degraded",
+                if self.degraded {
+                    format!("yes ({})", self.degraded_reason)
+                } else {
+                    "no".to_string()
+                },
+            ),
             ("plan_cache.hits", self.plan_cache.hits.to_string()),
             ("plan_cache.misses", self.plan_cache.misses.to_string()),
             ("plan_cache.evictions", self.plan_cache.evictions.to_string()),
@@ -158,6 +191,8 @@ impl MetricsRegistry {
             wal,
             locks,
             buffer_wait_ns,
+            health: Mutex::new(None),
+            retry: Mutex::new(None),
             operators: Mutex::new(BTreeMap::new()),
             plan_cache_hits: AtomicU64::new(0),
             plan_cache_misses: AtomicU64::new(0),
@@ -170,6 +205,16 @@ impl MetricsRegistry {
     /// The shared disk-metrics handle this registry reads from.
     pub fn disk_metrics(&self) -> &DiskMetrics {
         &self.metrics
+    }
+
+    /// Attach the pool's fault-tolerance state (degraded flag, repairs).
+    pub fn attach_health(&self, health: Arc<PoolHealth>) {
+        *self.health.lock() = Some(health);
+    }
+
+    /// Attach a RetryDisk's counters discovered in the disk stack.
+    pub fn attach_retry_stats(&self, stats: Arc<RetryStats>) {
+        *self.retry.lock() = Some(stats);
     }
 
     /// Fold one operator execution into the lifetime totals.
@@ -209,12 +254,26 @@ impl MetricsRegistry {
 
     /// Snapshot every counter the registry aggregates.
     pub fn snapshot(&self) -> EngineMetrics {
+        let (page_repairs, degraded, degraded_reason) = match self.health.lock().as_ref() {
+            Some(h) => (h.page_repairs(), h.is_degraded(), h.reason()),
+            None => (0, false, String::new()),
+        };
+        let (io_retries, io_gave_up) = match self.retry.lock().as_ref() {
+            Some(r) => (r.retries(), r.gave_up()),
+            None => (0, 0),
+        };
         EngineMetrics {
             disk: self.metrics.snapshot(),
             wal: self.wal.stats(),
             buffer_wait_ns: self.buffer_wait_ns.load(Ordering::Relaxed),
             lock_waits: self.locks.wait_count(),
             lock_timeouts: self.locks.timeout_count(),
+            lock_deadlocks: self.locks.deadlock_count(),
+            page_repairs,
+            io_retries,
+            io_gave_up,
+            degraded,
+            degraded_reason,
             plan_cache: PlanCacheStats {
                 hits: self.plan_cache_hits.load(Ordering::Relaxed),
                 misses: self.plan_cache_misses.load(Ordering::Relaxed),
@@ -293,6 +352,37 @@ mod tests {
             .iter()
             .any(|(k, v)| k == "plan_cache.invalidations" && v == "1"));
         assert!(rows.iter().any(|(k, v)| k == "compile.ns" && v == "2000"));
+    }
+
+    #[test]
+    fn fault_tolerance_rows_render() {
+        let r = registry();
+        // Bare registry: healthy defaults.
+        let snap = r.snapshot();
+        assert!(!snap.degraded);
+        assert_eq!((snap.page_repairs, snap.io_retries, snap.io_gave_up), (0, 0, 0));
+        let rows = snap.rows();
+        assert!(rows.iter().any(|(k, v)| k == "storage.degraded" && v == "no"));
+        assert!(rows.iter().any(|(k, v)| k == "lock.deadlocks" && v == "0"));
+        // Attached health/retry handles feed through.
+        let health = Arc::new(PoolHealth::default());
+        health.mark_degraded("disk on fire");
+        r.attach_health(health);
+        let retry = Arc::new(RetryStats::default());
+        retry.io_retries.fetch_add(3, Ordering::Relaxed);
+        retry.io_gave_up.fetch_add(1, Ordering::Relaxed);
+        r.attach_retry_stats(retry);
+        let snap = r.snapshot();
+        assert!(snap.degraded);
+        assert_eq!((snap.io_retries, snap.io_gave_up), (3, 1));
+        assert!(snap.io_gave_up <= snap.io_retries, "documented invariant");
+        let rows = snap.rows();
+        assert!(rows
+            .iter()
+            .any(|(k, v)| k == "storage.degraded" && v == "yes (disk on fire)"));
+        assert!(rows.iter().any(|(k, v)| k == "io.retries" && v == "3"));
+        assert!(rows.iter().any(|(k, v)| k == "io.gave_up" && v == "1"));
+        assert!(rows.iter().any(|(k, _)| k == "page.repairs"));
     }
 
     #[test]

@@ -158,7 +158,9 @@ impl LogStore for FileLog {
     }
 }
 
-fn checksum(bytes: &[u8]) -> u32 {
+/// Rolling checksum shared by log-record framing and the page trailer
+/// ([`Page::stamp_checksum`]) so both layers agree on one polynomial.
+pub(crate) fn checksum(bytes: &[u8]) -> u32 {
     // Fletcher-ish rolling sum: cheap, catches torn tails.
     let mut a: u32 = 1;
     let mut b: u32 = 0;
@@ -171,6 +173,9 @@ fn checksum(bytes: &[u8]) -> u32 {
 
 /// Transaction identifier.
 pub type TxnId = u64;
+
+/// A parsed log record: `(kind, txn, payload, frame offset)`.
+type ParsedRecord = (u8, TxnId, Vec<u8>, u64);
 
 /// Counter snapshot for the log, reported by `SHOW METRICS`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -269,34 +274,8 @@ impl Wal {
     /// live system does when the commit force fails ambiguously) wins.
     pub fn recover(&self, disk: &dyn Disk) -> Result<usize> {
         let bytes = self.store.read_all()?;
-        // (kind, txn, payload, offset of the record's own frame)
-        let mut records: Vec<(u8, TxnId, Vec<u8>, u64)> = Vec::new();
-        let mut off = 0usize;
-        let mut max_txn = 0u64;
-        while off + 8 <= bytes.len() {
-            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
-            let sum = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
-            if off + 8 + len > bytes.len() {
-                break; // torn tail
-            }
-            let body = &bytes[off + 8..off + 8 + len];
-            if checksum(body) != sum || len < 9 {
-                break; // corrupt tail
-            }
-            let kind = body[0];
-            let txn = u64::from_le_bytes(body[1..9].try_into().unwrap());
-            max_txn = max_txn.max(txn);
-            records.push((kind, txn, body[9..].to_vec(), off as u64));
-            off += 8 + len;
-        }
-        // Last marker wins: an abort appended after a commit record (the
-        // live system's answer to an ambiguous commit failure) overrides it.
-        let mut fate: std::collections::HashMap<TxnId, u8> = std::collections::HashMap::new();
-        for (kind, txn, _, _) in &records {
-            if *kind == KIND_COMMIT || *kind == KIND_ABORT {
-                fate.insert(*txn, *kind);
-            }
-        }
+        let (records, max_txn) = Self::parse_records(&bytes);
+        let fate = Self::fates(&records);
         let mut restored = 0usize;
         for (kind, txn, payload, rec_off) in &records {
             if *kind != KIND_PAGE_IMAGE || fate.get(txn) != Some(&KIND_COMMIT) {
@@ -324,6 +303,10 @@ impl Wal {
             }
             let mut p = Page::new();
             p.data.copy_from_slice(&payload[8..]);
+            // Logged after-images carry whatever trailer the in-memory frame
+            // had when it was logged (possibly stale); restamp before the
+            // image becomes the page's on-disk truth.
+            p.stamp_checksum();
             disk.write_page(file, page, &p)?;
             restored += 1;
         }
@@ -333,6 +316,74 @@ impl Wal {
         self.next_txn.fetch_max(floor, Ordering::Relaxed);
         self.recovered.fetch_add(restored as u64, Ordering::Relaxed);
         Ok(restored)
+    }
+
+    /// Parse complete, checksummed log records, stopping cleanly at a torn
+    /// or corrupt tail. Returns `(kind, txn, payload, frame offset)` tuples
+    /// plus the highest transaction id seen.
+    fn parse_records(bytes: &[u8]) -> (Vec<ParsedRecord>, u64) {
+        let mut records: Vec<ParsedRecord> = Vec::new();
+        let mut off = 0usize;
+        let mut max_txn = 0u64;
+        while off + 8 <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+            let sum = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+            if off + 8 + len > bytes.len() {
+                break; // torn tail
+            }
+            let body = &bytes[off + 8..off + 8 + len];
+            if checksum(body) != sum || len < 9 {
+                break; // corrupt tail
+            }
+            let kind = body[0];
+            let txn = u64::from_le_bytes(body[1..9].try_into().unwrap());
+            max_txn = max_txn.max(txn);
+            records.push((kind, txn, body[9..].to_vec(), off as u64));
+            off += 8 + len;
+        }
+        (records, max_txn)
+    }
+
+    /// Last marker wins: an abort appended after a commit record (the
+    /// live system's answer to an ambiguous commit failure) overrides it.
+    fn fates(records: &[(u8, TxnId, Vec<u8>, u64)]) -> std::collections::HashMap<TxnId, u8> {
+        let mut fate = std::collections::HashMap::new();
+        for (kind, txn, _, _) in records {
+            if *kind == KIND_COMMIT || *kind == KIND_ABORT {
+                fate.insert(*txn, *kind);
+            }
+        }
+        fate
+    }
+
+    /// Single-page repair: the latest *committed* after-image of
+    /// `(file, page)` still present in the log, or `None` when the log no
+    /// longer covers the page (e.g. truncated by a checkpoint since the
+    /// page was last written). The buffer pool uses this to rebuild a page
+    /// whose on-disk checksum failed; the returned image is restamped so
+    /// it can be written straight back.
+    pub fn latest_committed_image(&self, file: FileId, page: PageId) -> Result<Option<Page>> {
+        let bytes = self.store.read_all()?;
+        let (records, _) = Self::parse_records(&bytes);
+        let fate = Self::fates(&records);
+        let mut found: Option<Page> = None;
+        for (kind, txn, payload, _) in &records {
+            if *kind != KIND_PAGE_IMAGE
+                || fate.get(txn) != Some(&KIND_COMMIT)
+                || payload.len() != 8 + PAGE_SIZE
+            {
+                continue;
+            }
+            let rec_file = FileId(u32::from_le_bytes(payload[0..4].try_into().unwrap()));
+            let rec_page = PageId(u32::from_le_bytes(payload[4..8].try_into().unwrap()));
+            if rec_file == file && rec_page == page {
+                let mut p = Page::new();
+                p.data.copy_from_slice(&payload[8..]);
+                p.stamp_checksum();
+                found = Some(p); // keep scanning: log order, last write wins
+            }
+        }
+        Ok(found)
     }
 
     /// Checkpoint: the caller has flushed the disk; the log can restart.
@@ -571,6 +622,39 @@ mod tests {
         assert_eq!(s.appends, 3, "image + commit + abort");
         assert_eq!(s.forces, 1, "only commit forces");
         assert_eq!(s.recovered, 1);
+    }
+
+    #[test]
+    fn latest_committed_image_is_last_committed_write() {
+        let wal = Wal::new(Box::new(MemLog::new()));
+        let t1 = wal.begin();
+        wal.log_page_write(t1, FileId(1), PageId(0), &page_with(1))
+            .unwrap();
+        wal.commit(t1).unwrap();
+        let t2 = wal.begin();
+        wal.log_page_write(t2, FileId(1), PageId(0), &page_with(2))
+            .unwrap();
+        wal.commit(t2).unwrap();
+        let t3 = wal.begin();
+        wal.log_page_write(t3, FileId(1), PageId(0), &page_with(3))
+            .unwrap(); // never commits — must not win
+        let img = wal
+            .latest_committed_image(FileId(1), PageId(0))
+            .unwrap()
+            .expect("page is covered by the log");
+        assert_eq!(img.data[0], 2);
+        assert!(img.verify_checksum().is_ok(), "repair images come stamped");
+        assert!(wal
+            .latest_committed_image(FileId(1), PageId(9))
+            .unwrap()
+            .is_none());
+        wal.checkpoint().unwrap();
+        assert!(
+            wal.latest_committed_image(FileId(1), PageId(0))
+                .unwrap()
+                .is_none(),
+            "checkpoint truncation ends log coverage"
+        );
     }
 
     #[test]

@@ -1,0 +1,483 @@
+//! Fault-tolerance integration tests: page checksums, WAL-based page
+//! repair, retrying disk, deadlock detection, and degraded mode —
+//! exercised end to end through the SQL surface.
+//!
+//! Everything here is deterministic: faults come from pinned
+//! [`FaultPlan`]s, backoff sleeps are injected (no wall clock), and the
+//! deadlock schedules synchronize on the lock manager's own wait
+//! counter. The `#[ignore]`d sweeps widen the same scenarios to every
+//! fault point; CI runs them in the non-gating crash-sweep job.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use mood_core::{Answer, Mood, Value};
+use mood_storage::{
+    Disk, FaultPlan, FaultyDisk, FileDisk, FileLog, LockMode, Page, RetryDisk, StorageError,
+    StorageManager, PAGE_USABLE,
+};
+
+static RUN: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "mood-faulttol-{tag}-{}-{}",
+        std::process::id(),
+        RUN.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Open a file-backed database whose disk is wrapped by `plan`. The log
+/// is clean: these tests fault the page device, not the WAL.
+fn open_pooled(dir: &Path, plan: Arc<FaultPlan>, frames: usize) -> Mood {
+    let fd = FileDisk::open(dir.join("pages")).unwrap();
+    let disk: Arc<dyn Disk> = Arc::new(FaultyDisk::with_plan(fd, plan));
+    let log = Box::new(FileLog::open(dir.join("wal.log")).unwrap());
+    let sm = StorageManager::with_parts(disk, log, frames).unwrap();
+    Mood::open_with_storage(Arc::new(sm), dir).unwrap()
+}
+
+fn open_faulted(dir: &Path, plan: Arc<FaultPlan>) -> Mood {
+    open_pooled(dir, plan, 64)
+}
+
+type Ledger = BTreeMap<i32, i32>;
+
+/// Commit an indexed Account population. All of it lands in the WAL as
+/// committed after-images — the repair source for every test. The `pad`
+/// attribute bloats each record past 300 bytes so the heap spans many
+/// pages: against a tiny pool that working set forces evictions
+/// (write-backs) and re-reads, the traffic checksums protect.
+fn seed_accounts(db: &Mood) {
+    db.execute("CREATE CLASS Account TUPLE (id Integer, balance Integer, pad String)")
+        .unwrap();
+    db.execute("CREATE UNIQUE BTREE INDEX ON Account(id)")
+        .unwrap();
+    let pad = "x".repeat(300);
+    for i in 1..=120 {
+        db.execute(&format!("new Account <{i}, {}, '{pad}'>", i * 10))
+            .unwrap();
+    }
+}
+
+/// Read back the whole class two ways — sequential scan and indexed
+/// point queries — so both the heap and the B+-tree pages get read (and
+/// verified) on the way.
+fn read_workload(db: &Mood) -> Ledger {
+    let mut led = Ledger::new();
+    let mut cur = db.query("SELECT a.id, a.balance FROM Account a").unwrap();
+    while let Some(row) = cur.next() {
+        let (Value::Integer(id), Value::Integer(bal)) = (&row[0], &row[1]) else {
+            panic!("non-integer Account row: {row:?}");
+        };
+        led.insert(*id, *bal);
+    }
+    for id in [1, 13, 27, 40, 77, 120] {
+        let mut cur = db
+            .query(&format!(
+                "SELECT a.balance FROM Account a WHERE a.id = {id}"
+            ))
+            .unwrap();
+        let row = cur.next().expect("point query must find the row");
+        assert_eq!(Value::Integer(led[&id]), row[0], "index/heap disagree");
+    }
+    led
+}
+
+/// Fetch one metric's rendered value from `SHOW METRICS`.
+fn metric_value(db: &Mood, name: &str) -> String {
+    let Answer::Rows(result) = db.execute("SHOW METRICS").unwrap() else {
+        panic!("SHOW METRICS must return rows");
+    };
+    let row = result
+        .rows
+        .iter()
+        .find(|row| row[0] == Value::String(name.into()))
+        .unwrap_or_else(|| panic!("metric {name} missing from SHOW METRICS"));
+    match &row[1] {
+        Value::String(s) => s.clone(),
+        other => panic!("metric {name} has non-string value {other:?}"),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Checksums and WAL-based page repair
+// ----------------------------------------------------------------------
+
+/// A tiny buffer pool: seeding and scanning 40 rows plus the catalog
+/// and index churns every frame, so committed pages keep getting
+/// written back (stamped) and re-read from the device (verified). That
+/// read/write-back traffic is the bit-flip target — `Mood` checkpoints
+/// (truncating the WAL) at the end of every open, so only corruption of
+/// pages committed *since* open has a repair image, and that is exactly
+/// the traffic a live engine produces.
+const TINY_POOL: usize = 8;
+
+/// One sweep step in a fresh directory: arm a one-shot bit flip at disk
+/// op `k`, seed and read everything twice, and demand results identical
+/// to the clean run. Returns how many pages were repaired from the WAL.
+fn bit_flip_run(baseline: &Ledger, k: u64) -> u64 {
+    let dir = fresh_dir("bitflip-k");
+    let plan = FaultPlan::bit_flip_at(k, 0x5eed_0000 ^ k);
+    let db = open_pooled(&dir, plan, TINY_POOL);
+    seed_accounts(&db);
+    // Two passes: the first may be the one whose write-back gets
+    // flipped; the second re-reads every page from the device.
+    assert_eq!(
+        &read_workload(&db),
+        baseline,
+        "first read diverged with a bit flip at disk op {k}"
+    );
+    assert_eq!(
+        &read_workload(&db),
+        baseline,
+        "re-read diverged with a bit flip at disk op {k}"
+    );
+    let repairs = db.engine_metrics().page_repairs;
+    if repairs > 0 {
+        // The repair is visible at the SQL surface too.
+        let shown: u64 = metric_value(&db, "page.repairs").parse().unwrap();
+        assert_eq!(shown, repairs, "SHOW METRICS disagrees with the registry");
+    }
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    repairs
+}
+
+/// Clean run of the same schedule, returning the expected results plus
+/// the op domain for the sweep: `(ledger, first op after open, total)`.
+fn bit_flip_domain() -> (Ledger, u64, u64) {
+    let dir = fresh_dir("bitflip-dry");
+    let dry = FaultPlan::disarmed();
+    let db = open_pooled(&dir, dry.clone(), TINY_POOL);
+    let after_open = dry.ops();
+    seed_accounts(&db);
+    let baseline = read_workload(&db);
+    assert_eq!(read_workload(&db), baseline);
+    let total = dry.ops();
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(total > after_open, "the workload must hit the device");
+    (baseline, after_open, total)
+}
+
+#[test]
+fn bit_flips_are_detected_and_repaired_from_the_wal() {
+    let (baseline, after_open, total) = bit_flip_domain();
+    // Sample fault points across the post-open domain (flips during
+    // bootstrap land before the open-time checkpoint truncates their
+    // repair images — a corrupt page there is detected but torn for
+    // good, which the unrepairable-corruption test covers instead).
+    // Flips on non-write ops are no-ops by design: silent corruption is
+    // a write phenomenon.
+    let step = ((total - after_open) / 12).max(1);
+    let mut total_repairs = 0;
+    let mut k = after_open + 1;
+    while k <= total {
+        total_repairs += bit_flip_run(&baseline, k);
+        k += step;
+    }
+    assert!(
+        total_repairs >= 1,
+        "no sampled bit flip was caught by a checksum — detection is dead"
+    );
+}
+
+#[test]
+fn checksum_roundtrip_over_seeded_random_pages() {
+    // SplitMix64: the same generator the fault plans use.
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for round in 0..200 {
+        let mut p = Page::new();
+        for b in p.data[..PAGE_USABLE].iter_mut() {
+            *b = next() as u8;
+        }
+        // Unstamped pages (no trailer magic) are trusted: fresh
+        // allocations were never checksummed and must read back clean.
+        assert!(
+            p.verify_checksum().is_ok(),
+            "round {round}: unstamped page rejected"
+        );
+        p.stamp_checksum();
+        assert!(
+            p.verify_checksum().is_ok(),
+            "round {round}: stamp/verify roundtrip failed"
+        );
+        // Any single-byte corruption in the covered region is detected...
+        let off = (next() as usize) % PAGE_USABLE;
+        let mask = (next() as u8) | 1; // nonzero: the byte really changes
+        p.data[off] ^= mask;
+        let (expected, actual) = p
+            .verify_checksum()
+            .expect_err("round {round}: corruption went unnoticed");
+        assert_ne!(expected, actual);
+        // ...and undoing it restores validity.
+        p.data[off] ^= mask;
+        assert!(p.verify_checksum().is_ok());
+    }
+}
+
+// ----------------------------------------------------------------------
+// Retrying disk
+// ----------------------------------------------------------------------
+
+/// Reopen the seeded database behind a `RetryDisk` over a device that
+/// fails its first `n` operations, with an injected sleeper. Returns the
+/// recorded backoff sleeps.
+fn retry_run(dir: &Path, baseline: &Ledger, n: u64) -> Vec<u64> {
+    let sleeps = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let fd = FileDisk::open(dir.join("pages")).unwrap();
+    let faulty = FaultyDisk::with_plan(fd, FaultPlan::fail_n_then_heal(n));
+    let recorder = sleeps.clone();
+    let retry = RetryDisk::with_backoff(
+        faulty,
+        vec![1, 2, 4, 8],
+        Box::new(move |ms| recorder.lock().push(ms)),
+    );
+    let disk: Arc<dyn Disk> = Arc::new(retry);
+    let log = Box::new(FileLog::open(dir.join("wal.log")).unwrap());
+    // Recovery's first page write eats the injected failures; the
+    // backoff schedule (4 retries) outlasts them.
+    let sm = StorageManager::with_parts(disk, log, 64).unwrap();
+    let db = Mood::open_with_storage(Arc::new(sm), dir).unwrap();
+    assert_eq!(&read_workload(&db), baseline, "data diverged after retries");
+    let metrics = db.engine_metrics();
+    assert_eq!(metrics.io_retries, n, "each injected failure costs one retry");
+    assert_eq!(metrics.io_gave_up, 0, "the schedule must outlast {n} faults");
+    // Registry discovery surfaces the wrapper's counters in SQL.
+    assert_eq!(metric_value(&db, "io.retries"), n.to_string());
+    assert_eq!(metric_value(&db, "io.gave_up"), "0");
+    let recorded = sleeps.lock().clone();
+    recorded
+}
+
+#[test]
+fn transient_disk_faults_are_ridden_out_with_backoff() {
+    let dir = fresh_dir("retry");
+    let baseline = {
+        let db = open_faulted(&dir, FaultPlan::disarmed());
+        seed_accounts(&db);
+        read_workload(&db)
+    };
+    // Three consecutive failures, then the device heals: the first
+    // recovery write retries through exactly the 1ms/2ms/4ms prefix of
+    // the schedule — all injected, no wall clock.
+    assert_eq!(retry_run(&dir, &baseline, 3), vec![1, 2, 4]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ----------------------------------------------------------------------
+// Deadlock detection through the SQL surface
+// ----------------------------------------------------------------------
+
+fn two_class_db() -> Mood {
+    let db = Mood::in_memory();
+    db.execute("CREATE CLASS Alpha TUPLE (id Integer, v Integer)")
+        .unwrap();
+    db.execute("CREATE CLASS Beta TUPLE (id Integer, v Integer)")
+        .unwrap();
+    db.execute("new Alpha <1, 10>").unwrap();
+    db.execute("new Beta <1, 20>").unwrap();
+    db
+}
+
+fn read_one(db: &Mood, sql: &str) -> i32 {
+    let mut cur = db.query(sql).unwrap();
+    let row = cur.next().expect("row must exist");
+    let Value::Integer(v) = row[0] else {
+        panic!("non-integer value: {row:?}");
+    };
+    v
+}
+
+#[test]
+fn deadlock_aborts_the_rival_and_the_session_commits() {
+    let db = two_class_db();
+    let locks = db.storage().locks().clone();
+
+    db.execute("BEGIN").unwrap();
+    db.execute("UPDATE Alpha a SET v = 11 WHERE a.id = 1").unwrap(); // holds class:Alpha
+
+    // A rival with the largest possible owner id: always the youngest
+    // cycle member, hence always the victim.
+    const RIVAL: u64 = u64::MAX;
+    locks
+        .acquire(RIVAL, "class:Beta", LockMode::Exclusive)
+        .unwrap();
+    let waits_before = locks.wait_count();
+    let rival_locks = locks.clone();
+    let rival = std::thread::spawn(move || {
+        let err = rival_locks
+            .acquire(RIVAL, "class:Alpha", LockMode::Exclusive)
+            .unwrap_err();
+        rival_locks.release_all(RIVAL); // the doomed rival aborts
+        err
+    });
+    // Let the rival block on class:Alpha before closing the cycle.
+    while locks.wait_count() == waits_before {
+        std::thread::yield_now();
+    }
+
+    // This statement closes the cycle; detection dooms the rival within
+    // the pass and the statement proceeds once the rival lets go.
+    db.execute("UPDATE Beta b SET v = 21 WHERE b.id = 1").unwrap();
+    db.execute("COMMIT").unwrap();
+
+    match rival.join().unwrap() {
+        StorageError::Deadlock { victim, cycle } => {
+            assert_eq!(victim, RIVAL);
+            assert_eq!(cycle.len(), 2, "cycle is session <-> rival: {cycle:?}");
+        }
+        other => panic!("expected Deadlock, got {other:?}"),
+    }
+    assert_eq!(read_one(&db, "SELECT a.v FROM Alpha a WHERE a.id = 1"), 11);
+    assert_eq!(read_one(&db, "SELECT b.v FROM Beta b WHERE b.id = 1"), 21);
+    assert_eq!(locks.deadlock_count(), 1);
+    assert_eq!(
+        locks.timeout_count(),
+        0,
+        "detection must beat the timeout backstop"
+    );
+    assert_eq!(metric_value(&db, "lock.deadlocks"), "1");
+}
+
+#[test]
+fn deadlock_victim_statement_rolls_back_and_the_transaction_survives() {
+    let db = two_class_db();
+    let locks = db.storage().locks().clone();
+
+    db.execute("BEGIN").unwrap();
+    db.execute("UPDATE Alpha a SET v = 11 WHERE a.id = 1").unwrap();
+
+    // A rival with owner id 0: older than any transaction id, so the
+    // session itself is the youngest cycle member — and the victim.
+    const RIVAL: u64 = 0;
+    locks
+        .acquire(RIVAL, "class:Beta", LockMode::Exclusive)
+        .unwrap();
+    let waits_before = locks.wait_count();
+    let rival_locks = locks.clone();
+    let rival = std::thread::spawn(move || {
+        // Blocks until the session's COMMIT releases class:Alpha.
+        let granted = rival_locks.acquire(RIVAL, "class:Alpha", LockMode::Exclusive);
+        rival_locks.release_all(RIVAL);
+        granted
+    });
+    while locks.wait_count() == waits_before {
+        std::thread::yield_now();
+    }
+
+    // The session closes the cycle and is its youngest member: the
+    // statement fails with Deadlock on the spot...
+    let err = db
+        .execute("UPDATE Beta b SET v = 99 WHERE b.id = 1")
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("deadlock detected"),
+        "expected a deadlock error, got: {err}"
+    );
+
+    // ...but only the statement died (savepoint rollback). The
+    // transaction is alive: it keeps working and commits.
+    db.execute("UPDATE Alpha a SET v = 12 WHERE a.id = 1").unwrap();
+    db.execute("COMMIT").unwrap();
+
+    rival
+        .join()
+        .unwrap()
+        .expect("the surviving rival gets class:Alpha after the commit");
+    assert_eq!(read_one(&db, "SELECT a.v FROM Alpha a WHERE a.id = 1"), 12);
+    assert_eq!(
+        read_one(&db, "SELECT b.v FROM Beta b WHERE b.id = 1"),
+        20,
+        "the aborted statement's write must not surface"
+    );
+    assert!(locks.deadlock_count() >= 1);
+    assert_eq!(locks.timeout_count(), 0);
+}
+
+// ----------------------------------------------------------------------
+// Degraded mode
+// ----------------------------------------------------------------------
+
+#[test]
+fn degraded_mode_refuses_writes_until_healed() {
+    let db = Mood::in_memory();
+    db.execute("CREATE CLASS Note TUPLE (id Integer)").unwrap();
+    db.execute("new Note <1>").unwrap();
+    assert_eq!(metric_value(&db, "storage.degraded"), "no");
+
+    let health = db.storage().health();
+    health.mark_degraded("simulated device failure");
+
+    // Writes are refused with the reason...
+    let err = db.execute("new Note <2>").unwrap_err();
+    assert!(
+        err.to_string().contains("read-only (degraded mode)"),
+        "unexpected refusal: {err}"
+    );
+    // ...DDL too...
+    assert!(db
+        .execute("CREATE CLASS Blocked TUPLE (id Integer)")
+        .is_err());
+    // ...while reads keep working and the flag is visible in SQL.
+    assert_eq!(read_one(&db, "SELECT n.id FROM Note n WHERE n.id = 1"), 1);
+    assert_eq!(
+        metric_value(&db, "storage.degraded"),
+        "yes (simulated device failure)"
+    );
+
+    health.heal();
+    db.execute("new Note <2>").unwrap();
+    assert_eq!(metric_value(&db, "storage.degraded"), "no");
+}
+
+// ----------------------------------------------------------------------
+// Extended sweeps — every fault point. Run by the CI crash-sweep job
+// with `--ignored`; not gating.
+// ----------------------------------------------------------------------
+
+#[test]
+#[ignore = "exhaustive sweep; run with --ignored in the CI crash-sweep job"]
+fn sweep_every_bit_flip_point() {
+    let (baseline, after_open, total) = bit_flip_domain();
+    let mut total_repairs = 0;
+    for k in after_open + 1..=total {
+        total_repairs += bit_flip_run(&baseline, k);
+    }
+    assert!(total_repairs >= 1);
+}
+
+#[test]
+#[ignore = "exhaustive sweep; run with --ignored in the CI crash-sweep job"]
+fn sweep_retry_depths() {
+    let dir = fresh_dir("retry-sweep");
+    let baseline = {
+        let db = open_faulted(&dir, FaultPlan::disarmed());
+        seed_accounts(&db);
+        read_workload(&db)
+    };
+    // Every survivable failure depth: the schedule has four entries, so
+    // up to four consecutive faults get ridden out.
+    let schedule = [1u64, 2, 4, 8];
+    for n in 1..=4u64 {
+        assert_eq!(
+            retry_run(&dir, &baseline, n),
+            schedule[..n as usize].to_vec(),
+            "backoff prefix mismatch at depth {n}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
